@@ -1,0 +1,18 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one paper figure/table at a reduced scale (see
+DESIGN.md), asserts its qualitative *shape*, and writes the full text report
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference exact
+measured numbers.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, report: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    print()
+    print(report)

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the core data structures and the event engine.
+
+Unlike the figure benchmarks (single-shot simulations), these are classic
+repeated-timing benchmarks of the hot paths: event scheduling, leaf-set
+updates, routing-table lookups, and identifier arithmetic.
+"""
+
+import random
+
+from repro.pastry.leafset import LeafSet
+from repro.pastry.nodeid import (
+    NodeDescriptor,
+    digit,
+    random_nodeid,
+    ring_distance,
+    shared_prefix_length,
+)
+from repro.pastry.routingtable import RoutingTable
+from repro.pastry.selftuning import solve_rt_probe_period
+from repro.pastry.config import PastryConfig
+from repro.sim.engine import Simulator
+
+
+def test_engine_schedule_and_run(benchmark):
+    def run_events():
+        sim = Simulator()
+        for i in range(2000):
+            sim.schedule(float(i % 97) / 10.0, _noop)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run_events) == 2000
+
+
+def _noop():
+    return None
+
+
+def test_leafset_add_remove(benchmark):
+    rng = random.Random(1)
+    owner = NodeDescriptor(id=random_nodeid(rng), addr=0)
+    candidates = [
+        NodeDescriptor(id=random_nodeid(rng), addr=i) for i in range(256)
+    ]
+
+    def churn():
+        ls = LeafSet(owner, 32)
+        for desc in candidates:
+            ls.add(desc)
+        for desc in candidates[::2]:
+            ls.remove(desc.id)
+        return len(ls)
+
+    assert benchmark(churn) > 0
+
+
+def test_routing_table_next_hop(benchmark):
+    rng = random.Random(2)
+    owner = NodeDescriptor(id=random_nodeid(rng), addr=0)
+    table = RoutingTable(owner, 4)
+    for i in range(400):
+        table.add(NodeDescriptor(id=random_nodeid(rng), addr=i))
+    keys = [random_nodeid(rng) for _ in range(500)]
+
+    def route_all():
+        return sum(1 for key in keys if table.next_hop(key) is not None)
+
+    assert benchmark(route_all) > 0
+
+
+def test_identifier_arithmetic(benchmark):
+    rng = random.Random(3)
+    pairs = [(random_nodeid(rng), random_nodeid(rng)) for _ in range(1000)]
+
+    def crunch():
+        total = 0
+        for a, b in pairs:
+            total += shared_prefix_length(a, b, 4)
+            total += digit(a, 3, 4)
+            total += ring_distance(a, b) & 1
+        return total
+
+    assert benchmark(crunch) >= 0
+
+
+def test_selftuning_solver(benchmark):
+    config = PastryConfig()
+
+    def solve_many():
+        total = 0.0
+        for mu_exp in range(2, 12):
+            total += solve_rt_probe_period(0.05, 10 ** -mu_exp, 10000, config)
+        return total
+
+    assert benchmark(solve_many) > 0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""A replicated DHT on MSPastry: puts, gets, and surviving root failures.
+
+Run:  python examples/dht_storage.py
+"""
+
+from repro.apps.dht import Dht
+from repro.overlay import build_overlay
+from repro.pastry import PastryConfig
+from repro.pastry.nodeid import ring_distance
+
+
+def main() -> None:
+    sim, network, nodes = build_overlay(24, config=PastryConfig(), seed=17)
+    dht = Dht(nodes, n_replicas=4)
+    print(f"DHT over {len(dht)} nodes, 4 replicas per key")
+
+    # Store a handful of documents from different clients.
+    documents = {f"doc-{i}": f"contents of document {i}" for i in range(8)}
+    stored_keys = {}
+    for i, (name, body) in enumerate(documents.items()):
+        stored_keys[name] = dht[i % len(dht)].put(name, body)
+    sim.run(until=sim.now + 20)
+    print(f"stored {len(documents)} documents")
+
+    # Read each one back from an unrelated client.
+    hits = []
+    for name in documents:
+        dht[11].get(name, lambda r, n=name: hits.append((n, r.ok)))
+    sim.run(until=sim.now + 20)
+    print(f"reads ok: {sum(ok for _n, ok in hits)}/{len(hits)}")
+
+    # Crash the root of one key; a replica takes over.
+    name, key = next(iter(stored_keys.items()))
+    root = min(nodes, key=lambda n: (ring_distance(n.id, key), n.id))
+    print(f"crashing the root of {name!r} ({root.id:#034x})")
+    root.crash()
+    sim.run(until=sim.now + 180)
+
+    survivors = [d for d in dht.nodes if not d.node.crashed]
+    result = []
+    survivors[0].get(name, result.append)
+    sim.run(until=sim.now + 20)
+    outcome = "recovered from a replica" if result and result[0].ok else "LOST"
+    print(f"read of {name!r} after the crash: {outcome}")
+
+
+if __name__ == "__main__":
+    main()

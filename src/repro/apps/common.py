@@ -1,0 +1,22 @@
+"""Shared helpers for overlay applications."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+def chain_callback(existing: Optional[Callable], new: Callable) -> Callable:
+    """Compose node callbacks so metrics hooks and apps coexist.
+
+    The experiment runner installs metrics callbacks on every node; an
+    application attaching afterwards must not displace them.  The existing
+    callback (if any) runs first, then the application's.
+    """
+    if existing is None:
+        return new
+
+    def chained(*args):
+        existing(*args)
+        new(*args)
+
+    return chained

@@ -1,0 +1,170 @@
+"""Distributed hash table on the MSPastry key-based routing API.
+
+Semantics follow the storage systems the paper cites (PAST/CFS): a value is
+stored at its key's root node and replicated on the root's closest leaf-set
+neighbours so it survives root failures.  Gets are routed to the current
+root; if the root lost the value (e.g. it just took over the key range) it
+falls back to asking its neighbours.
+
+Operations complete through callbacks carrying a :class:`DhtResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.common import chain_callback
+from repro.pastry.messages import AppDirect, Lookup
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import key_of
+
+
+@dataclass
+class DhtResult:
+    ok: bool
+    key: int = 0
+    value: object = None
+
+
+@dataclass
+class _PutOp:
+    kind = "put"
+    key: int = 0
+    value: object = None
+    request_id: int = 0
+    reply_to: object = None  # NodeDescriptor
+
+
+@dataclass
+class _GetOp:
+    kind = "get"
+    key: int = 0
+    request_id: int = 0
+    reply_to: object = None
+
+
+@dataclass
+class _Replicate:
+    kind = "replicate"
+    key: int = 0
+    value: object = None
+
+
+@dataclass
+class _Reply:
+    kind = "reply"
+    request_id: int = 0
+    ok: bool = False
+    key: int = 0
+    value: object = None
+
+
+class DhtNode:
+    """DHT layer for one overlay node."""
+
+    def __init__(self, node: MSPastryNode, n_replicas: int = 3) -> None:
+        if getattr(node, "_dht_attached", False):
+            raise ValueError("node already has a DHT attached")
+        node._dht_attached = True
+        self.node = node
+        self.n_replicas = n_replicas
+        self.store: Dict[int, object] = {}
+        self._next_request = 0
+        self._pending: Dict[int, Callable[[DhtResult], None]] = {}
+        node.on_deliver = chain_callback(node.on_deliver, self._deliver)
+        node.on_app_direct = chain_callback(node.on_app_direct, self._direct)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def put(self, key, value, callback: Optional[Callable[[DhtResult], None]] = None):
+        """Store ``value`` under ``key`` (bytes/str keys are hashed)."""
+        key = self._to_key(key)
+        op = _PutOp(key=key, value=value, request_id=self._register(callback),
+                    reply_to=self.node.descriptor)
+        self.node.lookup(key, payload=op)
+        return key
+
+    def get(self, key, callback: Callable[[DhtResult], None]):
+        key = self._to_key(key)
+        op = _GetOp(key=key, request_id=self._register(callback),
+                    reply_to=self.node.descriptor)
+        self.node.lookup(key, payload=op)
+        return key
+
+    @staticmethod
+    def _to_key(key) -> int:
+        if isinstance(key, int):
+            return key
+        if isinstance(key, str):
+            key = key.encode()
+        return key_of(key)
+
+    def _register(self, callback) -> int:
+        self._next_request += 1
+        if callback is not None:
+            self._pending[self._next_request] = callback
+        return self._next_request
+
+    # ------------------------------------------------------------------
+    # Root-side handling
+    # ------------------------------------------------------------------
+    def _deliver(self, node: MSPastryNode, msg: Lookup) -> None:
+        op = msg.payload
+        if isinstance(op, _PutOp):
+            self.store[op.key] = op.value
+            self._replicate(op.key, op.value)
+            self._reply(op.reply_to, op.request_id, True, op.key, op.value)
+        elif isinstance(op, _GetOp):
+            if op.key in self.store:
+                self._reply(op.reply_to, op.request_id, True, op.key,
+                            self.store[op.key])
+            else:
+                self._reply(op.reply_to, op.request_id, False, op.key, None)
+
+    def _replicate(self, key: int, value: object) -> None:
+        neighbours = (
+            self.node.leaf_set.right_side[: self.n_replicas // 2 + 1]
+            + self.node.leaf_set.left_side[: self.n_replicas // 2 + 1]
+        )
+        seen = set()
+        count = 0
+        for desc in neighbours:
+            if desc.id in seen:
+                continue
+            seen.add(desc.id)
+            self.node.send(desc, AppDirect(payload=_Replicate(key=key, value=value)))
+            count += 1
+            if count >= self.n_replicas:
+                break
+
+    def _direct(self, node: MSPastryNode, msg: AppDirect) -> None:
+        payload = msg.payload
+        if isinstance(payload, _Replicate):
+            self.store[payload.key] = payload.value
+        elif isinstance(payload, _Reply):
+            callback = self._pending.pop(payload.request_id, None)
+            if callback is not None:
+                callback(DhtResult(ok=payload.ok, key=payload.key,
+                                   value=payload.value))
+
+    def _reply(self, reply_to, request_id: int, ok: bool, key: int, value) -> None:
+        reply = _Reply(request_id=request_id, ok=ok, key=key, value=value)
+        if reply_to.id == self.node.id:
+            self._direct(self.node, AppDirect(payload=reply))
+        else:
+            self.node.send(reply_to, AppDirect(payload=reply))
+
+
+class Dht:
+    """Convenience wrapper: a DHT over a list of overlay nodes."""
+
+    def __init__(self, nodes: List[MSPastryNode], n_replicas: int = 3) -> None:
+        self.nodes = [DhtNode(node, n_replicas) for node in nodes]
+
+    def __getitem__(self, index: int) -> DhtNode:
+        return self.nodes[index]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

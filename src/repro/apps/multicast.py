@@ -1,0 +1,131 @@
+"""Scribe-style application-level multicast on MSPastry (paper refs [7, 26]).
+
+A multicast group is named by a key; the key's root is the tree root.
+Subscriptions are routed towards the group key and absorbed by the first
+node already in the tree (the KBR *forward* upcall), which records the
+subscriber as a child — building a reverse-path tree.  Published messages
+are routed to the root, which disseminates them down the tree with direct
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.apps.common import chain_callback
+from repro.pastry.messages import AppDirect, Lookup
+from repro.pastry.node import MSPastryNode
+
+
+@dataclass
+class _Subscribe:
+    group: int = 0
+    subscriber: object = None  # NodeDescriptor
+
+
+@dataclass
+class _Publish:
+    group: int = 0
+    data: object = None
+    seq: int = 0
+
+
+@dataclass
+class _Disseminate:
+    group: int = 0
+    data: object = None
+    seq: int = 0
+
+
+class MulticastNode:
+    """Multicast layer for one overlay node."""
+
+    def __init__(self, node: MSPastryNode) -> None:
+        if getattr(node, "_multicast_attached", False):
+            raise ValueError("node already has a multicast layer attached")
+        node._multicast_attached = True
+        self.node = node
+        #: group -> children descriptors (forwarding state)
+        self.children: Dict[int, Dict[int, object]] = {}
+        #: groups this node subscribed to, with the receive callback
+        self.subscriptions: Dict[int, Callable[[object], None]] = {}
+        self._seq = 0
+        self.delivered: List[object] = []
+        node.on_deliver = chain_callback(node.on_deliver, self._deliver)
+        node.on_forward = self._forward  # sole owner: controls routing flow
+        node.on_app_direct = chain_callback(node.on_app_direct, self._direct)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def subscribe(self, group: int,
+                  callback: Optional[Callable[[object], None]] = None) -> None:
+        self.subscriptions[group] = callback or self.delivered.append
+        self.node.lookup(
+            group, payload=_Subscribe(group=group, subscriber=self.node.descriptor)
+        )
+
+    def unsubscribe(self, group: int) -> None:
+        self.subscriptions.pop(group, None)
+
+    def publish(self, group: int, data: object) -> None:
+        self._seq += 1
+        self.node.lookup(group, payload=_Publish(group=group, data=data,
+                                                 seq=self._seq))
+
+    def is_forwarder(self, group: int) -> bool:
+        return group in self.children and bool(self.children[group])
+
+    # ------------------------------------------------------------------
+    # Tree construction (forward upcall)
+    # ------------------------------------------------------------------
+    def _forward(self, node: MSPastryNode, msg: Lookup) -> bool:
+        payload = msg.payload
+        if isinstance(payload, _Subscribe) and node.active:
+            group = payload.group
+            already_in_tree = (
+                group in self.children or group in self.subscriptions
+            )
+            self._add_child(group, payload.subscriber)
+            if already_in_tree:
+                return False  # absorbed: we are already part of the tree
+            # Continue routing, but now as *our* subscription so the next
+            # tree node records us (not the original subscriber) as child.
+            msg.payload = _Subscribe(group=group, subscriber=node.descriptor)
+        return True
+
+    def _add_child(self, group: int, subscriber) -> None:
+        if subscriber.id == self.node.id:
+            return
+        self.children.setdefault(group, {})[subscriber.id] = subscriber
+
+    # ------------------------------------------------------------------
+    # Delivery at the root / dissemination
+    # ------------------------------------------------------------------
+    def _deliver(self, node: MSPastryNode, msg: Lookup) -> None:
+        payload = msg.payload
+        if isinstance(payload, _Subscribe):
+            self._add_child(payload.group, payload.subscriber)
+        elif isinstance(payload, _Publish):
+            self._disseminate(payload.group, payload.data, payload.seq,
+                              exclude=None)
+
+    def _direct(self, node: MSPastryNode, msg: AppDirect) -> None:
+        payload = msg.payload
+        if isinstance(payload, _Disseminate):
+            self._disseminate(payload.group, payload.data, payload.seq,
+                              exclude=msg.sender.id)
+
+    def _disseminate(self, group: int, data: object, seq: int,
+                     exclude: Optional[int]) -> None:
+        callback = self.subscriptions.get(group)
+        if callback is not None:
+            callback(data)
+        for child in list(self.children.get(group, {}).values()):
+            if exclude is not None and child.id == exclude:
+                continue
+            self.node.send(
+                child,
+                AppDirect(payload=_Disseminate(group=group, data=data, seq=seq)),
+            )

@@ -1,0 +1,205 @@
+"""PAST-style archival storage with active replica maintenance.
+
+The paper motivates consistent routing with archival stores (PAST [21],
+CFS [8]): an object is stored on the k nodes whose nodeIds are closest to
+its key (the *replica set*).  Unlike the simple DHT in :mod:`repro.apps.dht`
+(which replicates once at insert time), this store watches the local leaf
+set and **re-replicates** as membership changes, so objects survive
+sustained churn:
+
+* when a node becomes responsible for a key range (a closer root crashed or
+  it just joined), neighbours push it the objects it now replicates,
+* when a replica-set member fails, the survivors push the object to the
+  node that takes its place.
+
+The maintenance sweep runs periodically off the overlay's timers and uses
+only local information (the leaf set), exactly like PAST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.common import chain_callback
+from repro.pastry.messages import AppDirect, Lookup
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import key_of, ring_distance
+from repro.sim.periodic import PeriodicTask
+
+
+@dataclass
+class _Insert:
+    key: int = 0
+    value: object = None
+    request_id: int = 0
+    reply_to: object = None
+
+
+@dataclass
+class _Fetch:
+    key: int = 0
+    request_id: int = 0
+    reply_to: object = None
+
+
+@dataclass
+class _Push:
+    """Replica transfer between replica-set members."""
+
+    key: int = 0
+    value: object = None
+
+
+@dataclass
+class _StoreReply:
+    request_id: int = 0
+    ok: bool = False
+    key: int = 0
+    value: object = None
+
+
+class ReplicatingStore:
+    """PAST-style storage layer for one overlay node."""
+
+    def __init__(
+        self,
+        node: MSPastryNode,
+        replication_factor: int = 4,
+        maintenance_period: float = 60.0,
+    ) -> None:
+        if getattr(node, "_store_attached", False):
+            raise ValueError("node already has a store attached")
+        node._store_attached = True
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        self.node = node
+        self.replication_factor = replication_factor
+        self.objects: Dict[int, object] = {}
+        self._next_request = 0
+        self._pending: Dict[int, Callable] = {}
+        self.pushes_sent = 0
+        node.on_deliver = chain_callback(node.on_deliver, self._deliver)
+        node.on_app_direct = chain_callback(node.on_app_direct, self._direct)
+        self._maintenance = PeriodicTask(
+            node.sim,
+            maintenance_period,
+            self._maintain,
+            start_delay=node.rng.uniform(0.5, 1.5) * maintenance_period,
+        )
+
+    def stop(self) -> None:
+        self._maintenance.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def insert(self, key, value,
+               callback: Optional[Callable] = None) -> int:
+        key = self._to_key(key)
+        self._next_request += 1
+        if callback is not None:
+            self._pending[self._next_request] = callback
+        self.node.lookup(key, payload=_Insert(
+            key=key, value=value, request_id=self._next_request,
+            reply_to=self.node.descriptor,
+        ))
+        return key
+
+    def fetch(self, key, callback: Callable) -> int:
+        key = self._to_key(key)
+        self._next_request += 1
+        self._pending[self._next_request] = callback
+        self.node.lookup(key, payload=_Fetch(
+            key=key, request_id=self._next_request,
+            reply_to=self.node.descriptor,
+        ))
+        return key
+
+    @staticmethod
+    def _to_key(key) -> int:
+        if isinstance(key, int):
+            return key
+        if isinstance(key, str):
+            key = key.encode()
+        return key_of(key)
+
+    # ------------------------------------------------------------------
+    # Replica-set computation (local view)
+    # ------------------------------------------------------------------
+    def _replica_set(self, key: int) -> List:
+        """The k closest nodes to ``key`` in the local view (incl. self)."""
+        candidates = self.node.leaf_set.members() + [self.node.descriptor]
+        candidates.sort(key=lambda d: (ring_distance(d.id, key), d.id))
+        return candidates[: self.replication_factor]
+
+    def _is_replica(self, key: int) -> bool:
+        return any(d.id == self.node.id for d in self._replica_set(key))
+
+    # ------------------------------------------------------------------
+    # Root-side handling
+    # ------------------------------------------------------------------
+    def _deliver(self, node: MSPastryNode, msg: Lookup) -> None:
+        op = msg.payload
+        if isinstance(op, _Insert):
+            self.objects[op.key] = op.value
+            self._push_to_replicas(op.key, op.value)
+            self._reply(op.reply_to, op.request_id, True, op.key, op.value)
+        elif isinstance(op, _Fetch):
+            value = self.objects.get(op.key)
+            self._reply(op.reply_to, op.request_id, value is not None,
+                        op.key, value)
+
+    def _push_to_replicas(self, key: int, value: object) -> None:
+        for desc in self._replica_set(key):
+            if desc.id == self.node.id:
+                continue
+            self.pushes_sent += 1
+            self.node.send(desc, AppDirect(payload=_Push(key=key, value=value)))
+
+    def _reply(self, reply_to, request_id, ok, key, value) -> None:
+        reply = _StoreReply(request_id=request_id, ok=ok, key=key, value=value)
+        if reply_to.id == self.node.id:
+            self._direct(self.node, AppDirect(payload=reply))
+        else:
+            self.node.send(reply_to, AppDirect(payload=reply))
+
+    # ------------------------------------------------------------------
+    # Replica maintenance
+    # ------------------------------------------------------------------
+    def _maintain(self) -> None:
+        """Re-replicate after membership changes; drop out-of-range copies.
+
+        For every held object whose replica set (in the local view) contains
+        members that may not have it yet, push it; objects this node no
+        longer replicates are dropped once the responsible set is pushed.
+        """
+        if self.node.crashed or not self.node.active:
+            return
+        to_drop = []
+        for key, value in self.objects.items():
+            replicas = self._replica_set(key)
+            holds_locally = any(d.id == self.node.id for d in replicas)
+            for desc in replicas:
+                if desc.id != self.node.id:
+                    self.pushes_sent += 1
+                    self.node.send(
+                        desc, AppDirect(payload=_Push(key=key, value=value))
+                    )
+            if not holds_locally:
+                to_drop.append(key)
+        for key in to_drop:
+            del self.objects[key]
+
+    # ------------------------------------------------------------------
+    # Direct messages
+    # ------------------------------------------------------------------
+    def _direct(self, node: MSPastryNode, msg: AppDirect) -> None:
+        payload = msg.payload
+        if isinstance(payload, _Push):
+            if self._is_replica(payload.key):
+                self.objects[payload.key] = payload.value
+        elif isinstance(payload, _StoreReply):
+            callback = self._pending.pop(payload.request_id, None)
+            if callback is not None:
+                callback(payload)

@@ -1,0 +1,87 @@
+"""Command-line interface: run any paper experiment and print its report.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig6 --seed 7
+    python -m repro.cli run topologies --scale 0.1 --duration 3600
+    python -m repro.cli run all
+
+``--scale`` and ``--duration`` map onto each experiment's scale parameters
+where applicable (trace population scale and simulated seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _kwargs_for(module, args) -> dict:
+    """Map shared CLI flags onto the experiment's run() signature."""
+    signature = inspect.signature(module.run)
+    kwargs = {}
+    if "seed" in signature.parameters and args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.scale is not None:
+        for name in ("trace_scale", "scale"):
+            if name in signature.parameters:
+                kwargs[name] = args.scale
+                break
+    if args.duration is not None and "duration" in signature.parameters:
+        kwargs["duration"] = args.duration
+    return kwargs
+
+
+def run_experiment(name: str, args) -> int:
+    module = ALL_EXPERIMENTS.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}; try: {', '.join(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    kwargs = _kwargs_for(module, args)
+    started = time.time()
+    result = module.run(**kwargs)
+    elapsed = time.time() - started
+    print(module.format_report(result))
+    print(f"\n[{name} finished in {elapsed:.1f}s]")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the MSPastry (DSN 2004) evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment name or 'all'")
+    runner.add_argument("--seed", type=int, default=None)
+    runner.add_argument("--scale", type=float, default=None,
+                        help="trace population scale (fraction of the paper's)")
+    runner.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        status = 0
+        for name in ALL_EXPERIMENTS:
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            status |= run_experiment(name, args)
+        return status
+    return run_experiment(args.experiment, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

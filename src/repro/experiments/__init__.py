@@ -1,0 +1,48 @@
+"""The paper's evaluation (§5), one module per figure or table.
+
+Every module exposes ``run(...) -> dict`` returning the figure's data and a
+``format_report(result) -> str`` that prints the same rows/series the paper
+reports.  All experiments are scale-parameterised: the defaults finish in
+tens of seconds on a laptop; pass larger ``scale``/``duration`` values to
+approach the paper's full setups (see DESIGN.md on the scale substitution).
+
+===================  =====================================================
+module               paper artefact
+===================  =====================================================
+fig3_failure_rates   Fig 3: failure-rate time series of the three traces
+topologies           §5.3 "Network topology": loss / control / RDP table
+fig4_traces          Fig 4: RDP + control traffic per trace, breakdown
+fig5_sessions        Fig 5: RDP/control vs session time, join-latency CDF
+fig6_loss            Fig 6: dependability/performance vs network loss rate
+fig7_params          Fig 7: effect of leaf-set size l and digit size b
+ablation             §5.3 "Active probing and per-hop acks" ablation
+selftuning           §5.3 self-tuning: target Lr vs achieved loss/cost
+fig8_squirrel        Fig 8: Squirrel deployment traffic validation
+===================  =====================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation,
+    design_ablations,
+    fig3_failure_rates,
+    fig4_traces,
+    fig5_sessions,
+    fig6_loss,
+    fig7_params,
+    fig8_squirrel,
+    selftuning,
+    topologies,
+)
+
+ALL_EXPERIMENTS = {
+    "fig3": fig3_failure_rates,
+    "topologies": topologies,
+    "fig4": fig4_traces,
+    "fig5": fig5_sessions,
+    "fig6": fig6_loss,
+    "fig7": fig7_params,
+    "ablation": ablation,
+    "selftuning": selftuning,
+    "fig8": fig8_squirrel,
+    "design": design_ablations,
+}

@@ -1,0 +1,159 @@
+"""Ablations of MSPastry's individual design choices (DESIGN.md §5).
+
+These are not paper figures; they isolate the techniques of §4 one at a
+time, each against the natural baseline the paper argues against:
+
+* single left-neighbour heartbeat vs heart-beating the whole leaf set,
+* self-tuned routing-table probing vs fixed periods, across failure rates,
+* probe suppression on vs off, across application traffic levels,
+* symmetric distance probes on vs off (probe-count halving, §4.2),
+* aggressive vs TCP-conservative retransmission timers,
+* delivery deferral on vs off under link loss (consistency mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import Scenario
+from repro.pastry.config import PastryConfig
+from repro.pastry.messages import CAT_DISTANCE, CAT_HEARTBEAT, CAT_RT_PROBE
+
+
+def _run(seed, trace_scale, duration, lookup_rate=0.01, loss_rate=0.0, **cfg):
+    scenario = Scenario(
+        seed=seed,
+        lookup_rate=lookup_rate,
+        loss_rate=loss_rate,
+        config=PastryConfig(**cfg),
+    )
+    return scenario.run_gnutella(scale=trace_scale, duration=duration)
+
+
+def _category_rate(result, category: str) -> float:
+    node_seconds = result.stats.active.total_node_seconds or 1.0
+    return result.stats.sent_total.get(category, 0) / node_seconds
+
+
+def run(seed: int = 42, trace_scale: float = 0.04,
+        duration: float = 1800.0) -> Dict:
+    out: Dict[str, Dict] = {}
+
+    # 1. Heartbeats: left-neighbour vs all leaf-set members.
+    out["heartbeats"] = {}
+    for name, all_pairs in (("left-neighbour", False), ("all-members", True)):
+        result = _run(seed, trace_scale, duration,
+                      heartbeat_all_leafset=all_pairs)
+        out["heartbeats"][name] = {
+            "heartbeat_rate": _category_rate(result, CAT_HEARTBEAT),
+            "control": result.control_traffic,
+            "loss": result.loss_rate,
+        }
+
+    # 2. Self-tuned vs fixed probing periods.
+    out["tuning"] = {}
+    variants = (
+        ("self-tuned", dict(self_tuning=True)),
+        ("fixed-30s", dict(self_tuning=False, rt_probe_period=30.0)),
+        ("fixed-600s", dict(self_tuning=False, rt_probe_period=600.0)),
+    )
+    for name, overrides in variants:
+        result = _run(seed, trace_scale, duration, **overrides)
+        out["tuning"][name] = {
+            "rt_probe_rate": _category_rate(result, CAT_RT_PROBE),
+            "control": result.control_traffic,
+            "rdp": result.rdp,
+            "loss": result.loss_rate,
+        }
+
+    # 3. Probe suppression across application traffic levels.
+    out["suppression"] = {}
+    for rate in (0.01, 0.1):
+        for name, on in (("on", True), ("off", False)):
+            result = _run(seed, trace_scale, duration, lookup_rate=rate,
+                          probe_suppression=on)
+            out["suppression"][f"{rate}/{name}"] = {
+                "probe_rate": _category_rate(result, CAT_RT_PROBE)
+                + _category_rate(result, CAT_HEARTBEAT),
+                "control": result.control_traffic,
+            }
+
+    # 4. Symmetric distance probes.
+    out["symmetry"] = {}
+    for name, on in (("symmetric", True), ("independent", False)):
+        result = _run(seed, trace_scale, duration,
+                      symmetric_distance_probes=on)
+        out["symmetry"][name] = {
+            "distance_rate": _category_rate(result, CAT_DISTANCE),
+            "control": result.control_traffic,
+        }
+
+    # 5. Aggressive vs conservative retransmission timers.
+    out["rto"] = {}
+    variants = (
+        ("aggressive", dict(rto_variance_weight=2.0, rto_min=0.05,
+                            rto_initial=0.5)),
+        ("tcp-conservative", dict(rto_variance_weight=4.0, rto_min=1.0,
+                                  rto_initial=3.0)),
+    )
+    for name, overrides in variants:
+        result = _run(seed, trace_scale, duration, **overrides)
+        out["rto"][name] = {"rdp": result.rdp, "loss": result.loss_rate}
+
+    # 6. Delivery deferral under link loss.
+    out["deferral"] = {}
+    for name, on in (("on", True), ("off", False)):
+        result = _run(seed, trace_scale, duration, loss_rate=0.03,
+                      defer_delivery_on_suspect=on)
+        out["deferral"][name] = {
+            "incorrect": result.incorrect_delivery_rate,
+            "rdp": result.rdp,
+            "loss": result.loss_rate,
+        }
+
+    return out
+
+
+def format_report(result: Dict) -> str:
+    parts = ["Design-choice ablations (DESIGN.md §5)"]
+    parts.append("\n1. heartbeat strategy")
+    parts.append(format_table(
+        ["variant", "heartbeat msg/s/node", "control", "loss"],
+        [(n, r["heartbeat_rate"], r["control"], r["loss"])
+         for n, r in result["heartbeats"].items()],
+    ))
+    parts.append("\n2. probing-period tuning")
+    parts.append(format_table(
+        ["variant", "rt-probe rate", "control", "RDP", "loss"],
+        [(n, r["rt_probe_rate"], r["control"], r["rdp"], r["loss"])
+         for n, r in result["tuning"].items()],
+    ))
+    parts.append("\n3. probe suppression (lookup-rate/state)")
+    parts.append(format_table(
+        ["variant", "probe+hb rate", "control"],
+        [(n, r["probe_rate"], r["control"])
+         for n, r in result["suppression"].items()],
+    ))
+    parts.append("\n4. distance-probe symmetry")
+    parts.append(format_table(
+        ["variant", "distance msg/s/node", "control"],
+        [(n, r["distance_rate"], r["control"])
+         for n, r in result["symmetry"].items()],
+    ))
+    parts.append("\n5. retransmission timers")
+    parts.append(format_table(
+        ["variant", "RDP", "loss"],
+        [(n, r["rdp"], r["loss"]) for n, r in result["rto"].items()],
+    ))
+    parts.append("\n6. delivery deferral at 3% link loss")
+    parts.append(format_table(
+        ["variant", "incorrect", "RDP", "loss"],
+        [(n, r["incorrect"], r["rdp"], r["loss"])
+         for n, r in result["deferral"].items()],
+    ))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run()))

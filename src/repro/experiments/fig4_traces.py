@@ -1,0 +1,100 @@
+"""Figure 4: RDP and control traffic over (normalized) time per trace.
+
+Paper shape: RDP stays roughly constant around 1.8–2.2 for Gnutella/OverNet
+and lower for Microsoft; control traffic fluctuates with the daily pattern
+around ~0.25 msg/s/node for the open traces and ~3x lower for Microsoft;
+the Gnutella breakdown is dominated by distance probes (joins) and leaf-set
+heartbeats/probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.reporting import downsample, format_series, format_table
+from repro.experiments.scenarios import Scenario
+from repro.overlay.runner import OverlayRunner
+from repro.sim.rng import RngStreams
+from repro.traces.realworld import (
+    GNUTELLA,
+    MICROSOFT,
+    OVERNET,
+    generate_real_world_trace,
+)
+
+MODELS = {"gnutella": GNUTELLA, "overnet": OVERNET, "microsoft": MICROSOFT}
+
+
+def run(
+    seed: int = 42,
+    scale: float = 0.05,
+    microsoft_scale: float = 0.008,
+    duration: float = 4 * 3600.0,
+    topology_scale: float = 0.25,
+) -> Dict:
+    result = {"traces": {}, "breakdown": None}
+    for name, model in MODELS.items():
+        scenario = Scenario(seed=seed, topology_scale=topology_scale)
+        runner = scenario.build_runner()
+        if name == "microsoft":
+            trace_scale = microsoft_scale
+        else:
+            # Scale every open trace to the same active population so the
+            # per-node traffic comparison is not confounded by overlay size
+            # (the paper runs each trace at its native population, but at
+            # our reduced scale OverNet's 455 nodes would shrink below the
+            # leaf-set size).
+            trace_scale = scale * GNUTELLA.avg_active / model.avg_active
+        trace = generate_real_world_trace(
+            RngStreams(seed).stream(f"trace-{name}"),
+            model,
+            scale=trace_scale,
+            duration=duration,
+        )
+        run_result = runner.run(trace)
+        stats = run_result.stats
+        result["traces"][name] = {
+            "rdp": stats.mean_rdp(),
+            "rdp_median": stats.rdp_percentile(0.5),
+            "control": stats.control_traffic_rate(),
+            "loss": stats.loss_rate(),
+            "incorrect": stats.incorrect_delivery_rate(),
+            "rdp_series": stats.rdp_series(),
+            "control_series": stats.control_traffic_series(),
+        }
+        if name == "gnutella":
+            result["breakdown"] = stats.control_breakdown_series()
+    return result
+
+
+def format_report(result: Dict) -> str:
+    rows = [
+        (name, t["rdp"], t["rdp_median"], t["control"], t["loss"],
+         t["incorrect"])
+        for name, t in result["traces"].items()
+    ]
+    parts = [
+        "Figure 4 — RDP and control traffic per trace",
+        format_table(
+            ["trace", "RDP-mean", "RDP-med", "control", "loss", "incorrect"],
+            rows,
+        ),
+    ]
+    for name, t in result["traces"].items():
+        parts.append(format_series(f"\n{name} RDP over time", downsample(t["rdp_series"])))
+        parts.append(
+            format_series(f"{name} control traffic over time",
+                          downsample(t["control_series"]))
+        )
+    if result["breakdown"]:
+        parts.append("\nGnutella control-traffic breakdown (mean msg/s/node):")
+        rows = []
+        for category, series in result["breakdown"].items():
+            if series:
+                rows.append((category, sum(v for _t, v in series) / len(series)))
+        parts.append(format_table(["category", "mean rate"], rows))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run()))

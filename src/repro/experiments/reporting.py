@@ -1,0 +1,48 @@
+"""Plain-text reporting helpers: the tables/series the paper prints."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.2e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    name: str, series: List[Tuple[float, float]], time_unit: float = 3600.0,
+    unit_label: str = "h",
+) -> str:
+    """One-line-per-point rendering of a time series."""
+    lines = [name]
+    for t, value in series:
+        lines.append(f"  t={t / time_unit:7.2f}{unit_label}  {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def downsample(series: List[Tuple[float, float]], max_points: int = 24):
+    """Thin a series for terminal display."""
+    if len(series) <= max_points:
+        return series
+    step = len(series) / max_points
+    return [series[int(i * step)] for i in range(max_points)]

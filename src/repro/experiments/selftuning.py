@@ -1,0 +1,64 @@
+"""§5.3 self-tuning: achieved raw loss rate vs target, and its traffic cost.
+
+Paper results (without per-hop acks, so the raw loss rate is observable):
+tuning to Lr=5% achieves a measured loss of 5.3%; tuning to 1% achieves
+1.2%; moving the target from 5% to 1% raises control traffic ~2.6x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import Scenario
+from repro.pastry.config import PastryConfig
+
+TARGETS = (0.05, 0.01)
+
+
+def run(
+    seed: int = 42,
+    trace_scale: float = 0.05,
+    duration: float = 2400.0,
+    targets=TARGETS,
+) -> Dict:
+    rows = {}
+    for target in targets:
+        config = PastryConfig(
+            per_hop_acks=False,  # expose the raw loss rate
+            active_rt_probing=True,
+            self_tuning=True,
+            target_raw_loss=target,
+        )
+        scenario = Scenario(seed=seed, config=config)
+        result = scenario.run_gnutella(scale=trace_scale, duration=duration)
+        rows[target] = {
+            "measured_loss": result.loss_rate,
+            "control": result.control_traffic,
+            "rdp": result.rdp,
+        }
+    return {"rows": rows}
+
+
+def format_report(result: Dict) -> str:
+    rows = [
+        (f"{target:.0%}", r["measured_loss"], r["control"], r["rdp"])
+        for target, r in result["rows"].items()
+    ]
+    parts = [
+        "Self-tuning — target raw loss rate vs measured loss (acks off)",
+        format_table(["target Lr", "measured loss", "control", "RDP"], rows),
+    ]
+    targets = list(result["rows"])
+    if len(targets) >= 2:
+        hi, lo = result["rows"][targets[0]], result["rows"][targets[1]]
+        if hi["control"] > 0:
+            parts.append(
+                f"\ncontrol traffic ratio {targets[1]:.0%} vs {targets[0]:.0%}: "
+                f"{lo['control'] / hi['control']:.2f}x (paper: 2.6x)"
+            )
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run()))

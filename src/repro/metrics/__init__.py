@@ -1,0 +1,13 @@
+"""Evaluation metrics (paper §5.2).
+
+Dependability: *incorrect delivery rate* (lookups delivered to a node that
+was not the key's root at delivery time) and *loss rate* (lookups never
+delivered).  Performance: *relative delay penalty* (overlay delay divided by
+direct network delay between the same nodes) and *control traffic* (non-
+lookup messages per second per active node), both also as windowed series.
+"""
+
+from repro.metrics.cdf import cdf_points
+from repro.metrics.collector import ActiveIntegrator, StatsCollector
+
+__all__ = ["ActiveIntegrator", "StatsCollector", "cdf_points"]

@@ -1,0 +1,102 @@
+"""Topology interface shared by all network models.
+
+A topology exposes *attachment points* for end nodes.  The transport asks the
+topology for the one-way delay between two attachment points, and the overlay
+(for proximity neighbour selection) asks for the *proximity metric* between
+them — round-trip delay for the RTT-based topologies, IP hop count for the
+Mercator-like topology, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+
+class Topology(ABC):
+    """Abstract base for network topologies."""
+
+    #: human-readable topology name used in reports
+    name: str = "topology"
+
+    @abstractmethod
+    def attach(self, rng: random.Random) -> int:
+        """Create an attachment point for one end node; return its id."""
+
+    @abstractmethod
+    def delay(self, a: int, b: int) -> float:
+        """One-way network delay in seconds between attachment points."""
+
+    def proximity(self, a: int, b: int) -> float:
+        """Proximity metric used by PNS (default: round-trip delay)."""
+        return 2.0 * self.delay(a, b)
+
+
+class RouterGraphTopology(Topology):
+    """Topology backed by a weighted router graph.
+
+    End nodes attach to routers through a LAN link.  Router-to-router delays
+    are computed by single-source Dijkstra on demand and cached per source
+    router, so only routers that actually host end nodes pay the cost.
+    """
+
+    def __init__(self, lan_delay: float = 0.001) -> None:
+        self.lan_delay = lan_delay
+        self._graph: csr_matrix = None  # set by subclass via _set_graph
+        self._n_routers = 0
+        self._dist_cache: Dict[int, np.ndarray] = {}
+        # attachment id -> router id
+        self._attach_router: list = []
+
+    # ------------------------------------------------------------------
+    def _set_graph(self, n_routers: int, rows, cols, weights) -> None:
+        """Install the (symmetric) router graph from edge lists."""
+        data = np.asarray(weights, dtype=np.float64)
+        graph = csr_matrix(
+            (np.concatenate([data, data]),
+             (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+            shape=(n_routers, n_routers),
+        )
+        self._graph = graph
+        self._n_routers = n_routers
+
+    @property
+    def n_routers(self) -> int:
+        return self._n_routers
+
+    # ------------------------------------------------------------------
+    def _pick_router(self, rng: random.Random) -> int:
+        """Choose the router an end node attaches to (uniform by default)."""
+        return rng.randrange(self._n_routers)
+
+    def attach(self, rng: random.Random) -> int:
+        router = self._pick_router(rng)
+        self._attach_router.append(router)
+        return len(self._attach_router) - 1
+
+    def router_of(self, attachment: int) -> int:
+        return self._attach_router[attachment]
+
+    def _router_distances(self, router: int) -> np.ndarray:
+        cached = self._dist_cache.get(router)
+        if cached is None:
+            cached = dijkstra(self._graph, indices=router, directed=False)
+            self._dist_cache[router] = cached
+        return cached
+
+    def router_delay(self, r1: int, r2: int) -> float:
+        if r1 == r2:
+            return 0.0
+        return float(self._router_distances(r1)[r2])
+
+    def delay(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        r1, r2 = self._attach_router[a], self._attach_router[b]
+        # Two end nodes on the same router LAN still cross the LAN twice.
+        return self.router_delay(r1, r2) + 2.0 * self.lan_delay

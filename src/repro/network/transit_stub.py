@@ -1,0 +1,135 @@
+"""GT-ITM-style transit-stub topology (the paper's "GATech" network).
+
+The paper uses a 5050-router transit-stub graph from the Georgia Tech
+topology generator: 10 transit domains averaging 5 routers each, with an
+average of 10 stub domains per transit router and 10 routers per stub
+domain.  We rebuild the same hierarchy: domains are placed in a unit square,
+routers are placed around their domain's centre, and link delays are derived
+from Euclidean distance (the GT-ITM convention).  Stub domains attach only to
+their transit router, so policy routing (no transit through stubs) is
+enforced structurally.
+
+End nodes attach to randomly selected *stub* routers through a 1 ms LAN link,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.network.base import RouterGraphTopology
+
+
+class TransitStubTopology(RouterGraphTopology):
+    name = "GATech"
+
+    def __init__(
+        self,
+        rng: random.Random,
+        n_transit_domains: int = 10,
+        transit_routers_per_domain: int = 5,
+        stub_domains_per_transit_router: int = 10,
+        routers_per_stub: int = 10,
+        delay_per_unit: float = 0.080,
+        lan_delay: float = 0.001,
+    ) -> None:
+        super().__init__(lan_delay=lan_delay)
+        self._rng = rng
+        self._stub_routers: List[int] = []
+        self._build(
+            n_transit_domains,
+            transit_routers_per_domain,
+            stub_domains_per_transit_router,
+            routers_per_stub,
+            delay_per_unit,
+        )
+
+    @classmethod
+    def scaled(cls, rng: random.Random, scale: float = 0.2, **kwargs) -> "TransitStubTopology":
+        """Smaller instance preserving the hierarchy (for fast experiments)."""
+        return cls(
+            rng,
+            n_transit_domains=max(3, round(10 * min(1.0, scale * 2))),
+            transit_routers_per_domain=max(2, round(5 * min(1.0, scale * 2))),
+            stub_domains_per_transit_router=max(2, round(10 * scale)),
+            routers_per_stub=max(2, round(10 * scale)),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        n_transit: int,
+        per_transit: int,
+        stubs_per_router: int,
+        per_stub: int,
+        delay_per_unit: float,
+    ) -> None:
+        rng = self._rng
+        positions: List[tuple] = []
+        rows: List[int] = []
+        cols: List[int] = []
+        weights: List[float] = []
+
+        def add_router(x: float, y: float) -> int:
+            positions.append((x, y))
+            return len(positions) - 1
+
+        def add_edge(a: int, b: int) -> None:
+            (x1, y1), (x2, y2) = positions[a], positions[b]
+            dist = ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+            rows.append(a)
+            cols.append(b)
+            # Small floor keeps co-located routers from having zero delay.
+            weights.append(delay_per_unit * dist + 0.0005)
+
+        def connect_clique_ish(members: List[int], extra_edge_prob: float) -> None:
+            """Random connected graph: spanning chain + random chords."""
+            for idx in range(1, len(members)):
+                add_edge(members[idx], members[rng.randrange(idx)])
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    if rng.random() < extra_edge_prob:
+                        add_edge(members[i], members[j])
+
+        # Transit domains: centres spread over the unit square.
+        transit_domains: List[List[int]] = []
+        for _ in range(n_transit):
+            cx, cy = rng.random(), rng.random()
+            members = [
+                add_router(cx + rng.gauss(0, 0.03), cy + rng.gauss(0, 0.03))
+                for _ in range(max(1, round(rng.gauss(per_transit, per_transit * 0.2))))
+            ]
+            connect_clique_ish(members, 0.4)
+            transit_domains.append(members)
+
+        # Inter-domain links: spanning chain over domains plus random extras,
+        # each realised as a link between random routers of the two domains.
+        for idx in range(1, n_transit):
+            other = rng.randrange(idx)
+            add_edge(rng.choice(transit_domains[idx]), rng.choice(transit_domains[other]))
+        for i in range(n_transit):
+            for j in range(i + 1, n_transit):
+                if rng.random() < 0.3:
+                    add_edge(rng.choice(transit_domains[i]), rng.choice(transit_domains[j]))
+
+        # Stub domains hang off transit routers.
+        for domain in transit_domains:
+            for transit_router in domain:
+                tx, ty = positions[transit_router]
+                n_stubs = max(1, round(rng.gauss(stubs_per_router, stubs_per_router * 0.2)))
+                for _ in range(n_stubs):
+                    sx, sy = tx + rng.gauss(0, 0.02), ty + rng.gauss(0, 0.02)
+                    members = [
+                        add_router(sx + rng.gauss(0, 0.005), sy + rng.gauss(0, 0.005))
+                        for _ in range(max(1, round(rng.gauss(per_stub, per_stub * 0.2))))
+                    ]
+                    connect_clique_ish(members, 0.2)
+                    add_edge(rng.choice(members), transit_router)
+                    self._stub_routers.extend(members)
+
+        self._set_graph(len(positions), rows, cols, weights)
+
+    def _pick_router(self, rng: random.Random) -> int:
+        return rng.choice(self._stub_routers)

@@ -1,0 +1,81 @@
+"""Lossy packet transport on top of a topology.
+
+Semantics match the paper's simulator: point-to-point message delivery after
+the topology's one-way delay, an optional uniform message loss probability,
+and no congestion modelling.  Messages sent to a node that has failed (been
+deregistered) are silently dropped on delivery — the crash-stop model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.network.base import Topology
+from repro.sim.engine import Simulator
+
+Handler = Callable[[int, Any], None]
+
+
+class Network:
+    """Message transport connecting end nodes over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        rng: random.Random,
+        loss_rate: float = 0.0,
+        stats: Optional[Any] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate out of range: {loss_rate}")
+        self.sim = sim
+        self.topology = topology
+        self.loss_rate = loss_rate
+        self.stats = stats
+        self._rng = rng
+        self._handlers: Dict[int, Handler] = {}
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.messages_dropped_dead = 0
+
+    # ------------------------------------------------------------------
+    def attach(self) -> int:
+        """Create a new attachment point (a network address)."""
+        return self.topology.attach(self._rng)
+
+    def register(self, address: int, handler: Handler) -> None:
+        """Bind a live node's message handler to its address."""
+        self._handlers[address] = handler
+
+    def deregister(self, address: int) -> None:
+        """Crash/leave: future deliveries to this address are dropped."""
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: int) -> bool:
+        return address in self._handlers
+
+    # ------------------------------------------------------------------
+    def delay(self, a: int, b: int) -> float:
+        return self.topology.delay(a, b)
+
+    def proximity(self, a: int, b: int) -> float:
+        return self.topology.proximity(a, b)
+
+    def send(self, src: int, dst: int, msg: Any) -> None:
+        """Send ``msg`` from address ``src`` to ``dst`` (fire and forget)."""
+        self.messages_sent += 1
+        if self.stats is not None:
+            self.stats.on_send(msg, src, dst, self.sim.now)
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return
+        self.sim.schedule(self.topology.delay(src, dst), self._deliver, src, dst, msg)
+
+    def _deliver(self, src: int, dst: int, msg: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.messages_dropped_dead += 1
+            return
+        handler(src, msg)

@@ -1,0 +1,161 @@
+"""Overlay health auditing: global invariant checks for tests and operators.
+
+These functions take the *global* view (every node object) that only a
+simulation or a monitoring system has, and quantify how healthy the overlay
+is: ring closure, leaf-set completeness and staleness, routing-table fill
+and proximity quality.  The failure-injection tests and examples use them;
+an operator of a real deployment would compute the same from node snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pastry.nodeid import shared_prefix_length
+
+
+def live_nodes(nodes: Sequence) -> List:
+    return [n for n in nodes if not n.crashed and n.active]
+
+
+@dataclass
+class RingReport:
+    n_live: int
+    broken_links: List[Tuple[object, object]] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return not self.broken_links
+
+
+def audit_ring(nodes: Sequence) -> RingReport:
+    """Check that each live node's leaf set contains its true successor."""
+    survivors = sorted(live_nodes(nodes), key=lambda n: n.id)
+    report = RingReport(n_live=len(survivors))
+    for i, node in enumerate(survivors):
+        successor = survivors[(i + 1) % len(survivors)]
+        if successor.id != node.id and successor.id not in node.leaf_set:
+            report.broken_links.append((node, successor))
+    return report
+
+
+@dataclass
+class StalenessReport:
+    stale_leaf_entries: int = 0
+    stale_rt_entries: int = 0
+    total_leaf_entries: int = 0
+    total_rt_entries: int = 0
+
+    @property
+    def leaf_staleness(self) -> float:
+        if self.total_leaf_entries == 0:
+            return 0.0
+        return self.stale_leaf_entries / self.total_leaf_entries
+
+    @property
+    def rt_staleness(self) -> float:
+        if self.total_rt_entries == 0:
+            return 0.0
+        return self.stale_rt_entries / self.total_rt_entries
+
+
+def audit_staleness(nodes: Sequence) -> StalenessReport:
+    """Fraction of routing-state entries that point at crashed nodes."""
+    dead = {n.id for n in nodes if n.crashed}
+    report = StalenessReport()
+    for node in live_nodes(nodes):
+        for desc in node.leaf_set.members():
+            report.total_leaf_entries += 1
+            if desc.id in dead:
+                report.stale_leaf_entries += 1
+        for desc in node.routing_table.entries():
+            report.total_rt_entries += 1
+            if desc.id in dead:
+                report.stale_rt_entries += 1
+    return report
+
+
+@dataclass
+class TableFillReport:
+    #: per-node: (occupied slots, ideally-fillable slots)
+    per_node: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def mean_fill(self) -> float:
+        ratios = [
+            occupied / fillable
+            for occupied, fillable in self.per_node.values()
+            if fillable > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def audit_table_fill(nodes: Sequence, b: int = 4) -> TableFillReport:
+    """Occupied routing-table slots vs slots fillable given live membership."""
+    survivors = live_nodes(nodes)
+    report = TableFillReport()
+    for node in survivors:
+        fillable_slots = set()
+        for other in survivors:
+            if other.id == node.id:
+                continue
+            slot = node.routing_table.slot_for(other.id)
+            if slot is not None:
+                fillable_slots.add(slot)
+        occupied = sum(
+            1 for slot in fillable_slots
+            if node.routing_table.get(*slot) is not None
+        )
+        report.per_node[node.id] = (occupied, len(fillable_slots))
+    return report
+
+
+def audit_pns_quality(nodes: Sequence, topology) -> Optional[float]:
+    """Mean ratio of chosen-entry proximity to the best possible per slot.
+
+    1.0 is perfect proximity neighbour selection; None when no slot has an
+    alternative candidate to compare against.
+    """
+    survivors = live_nodes(nodes)
+    ratios = []
+    for node in survivors:
+        for entry in node.routing_table.entries():
+            slot = node.routing_table.slot_for(entry.id)
+            candidates = [
+                other
+                for other in survivors
+                if other.id != node.id
+                and node.routing_table.slot_for(other.id) == slot
+            ]
+            if len(candidates) < 2:
+                continue
+            chosen = topology.proximity(node.addr, entry.addr)
+            best = min(
+                topology.proximity(node.addr, c.addr) for c in candidates
+            )
+            if best > 0:
+                ratios.append(chosen / best)
+    if not ratios:
+        return None
+    return sum(ratios) / len(ratios)
+
+
+def format_health(nodes: Sequence, topology=None) -> str:
+    """One-paragraph health summary."""
+    ring = audit_ring(nodes)
+    staleness = audit_staleness(nodes)
+    fill = audit_table_fill(nodes)
+    lines = [
+        f"live nodes: {ring.n_live}",
+        f"ring closed: {ring.closed} ({len(ring.broken_links)} broken links)",
+        f"leaf staleness: {staleness.leaf_staleness:.1%} "
+        f"({staleness.stale_leaf_entries}/{staleness.total_leaf_entries})",
+        f"routing-table staleness: {staleness.rt_staleness:.1%}",
+        f"routing-table fill: {fill.mean_fill:.1%} of fillable slots",
+    ]
+    if topology is not None:
+        quality = audit_pns_quality(nodes, topology)
+        if quality is not None:
+            lines.append(f"PNS quality: chosen/best proximity = {quality:.2f}")
+    return "\n".join(lines)

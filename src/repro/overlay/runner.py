@@ -1,0 +1,226 @@
+"""Experiment runner: trace-driven fault injection over a full overlay.
+
+A run has two phases.  The *warm-up* builds the initial overlay population
+through the real join protocol (staggered joins, no measurements), mirroring
+the paper's setups where the overlay exists before the trace starts.  The
+*measured* phase replays the churn trace — arrivals join through a random
+active node, failures crash-stop — while every active node generates Poisson
+lookup traffic; all metrics are collected against the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.metrics.collector import StatsCollector
+from repro.network.base import Topology
+from repro.network.transport import Network
+from repro.overlay.oracle import Oracle
+from repro.overlay.workload import LookupWorkload
+from repro.pastry.config import PastryConfig
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import random_nodeid
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.traces.events import ARRIVAL, ChurnTrace
+
+
+class _ShiftedStats:
+    """Adapter handing transport sends to the collector in shifted time."""
+
+    def __init__(self, collector: StatsCollector, t0: float) -> None:
+        self._collector = collector
+        self._t0 = t0
+
+    def on_send(self, msg, src: int, dst: int, now: float) -> None:
+        if now >= self._t0:
+            self._collector.on_send(msg, src, dst, now - self._t0)
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to report paper metrics."""
+
+    stats: StatsCollector
+    trace_name: str
+    duration: float
+    config: PastryConfig
+    final_active: int
+    nodes_never_activated: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rdp(self) -> float:
+        return self.stats.mean_rdp()
+
+    @property
+    def rdp_median(self) -> float:
+        return self.stats.rdp_percentile(0.5)
+
+    @property
+    def control_traffic(self) -> float:
+        return self.stats.control_traffic_rate()
+
+    @property
+    def loss_rate(self) -> float:
+        return self.stats.loss_rate()
+
+    @property
+    def incorrect_delivery_rate(self) -> float:
+        return self.stats.incorrect_delivery_rate()
+
+
+class OverlayRunner:
+    def __init__(
+        self,
+        config: PastryConfig,
+        topology: Topology,
+        streams: RngStreams,
+        loss_rate: float = 0.0,
+        lookup_rate: float = 0.01,
+        stats_window: float = 600.0,
+        warmup_join_interval: float = 0.2,
+        warmup_settle: float = 90.0,
+    ) -> None:
+        self.config = config
+        self.streams = streams
+        self.sim = Simulator()
+        self.topology = topology
+        self.network = Network(
+            self.sim, topology, streams.stream("network"), loss_rate
+        )
+        self.oracle = Oracle()
+        self.collector: Optional[StatsCollector] = None
+        self.stats_window = stats_window
+        self.lookup_rate = lookup_rate
+        self.warmup_join_interval = warmup_join_interval
+        self.warmup_settle = warmup_settle
+        self._node_rng = streams.stream("nodes")
+        self._seed_rng = streams.stream("seeds")
+        self._trace_nodes: Dict[int, MSPastryNode] = {}
+        self._t0 = 0.0
+        self._never_activated = 0
+        #: optional hook called as on_spawn(trace_node_id, node) right after
+        #: a node is created — applications attach themselves here
+        self.on_spawn = None
+        self.workload = LookupWorkload(
+            self.sim,
+            streams.stream("workload"),
+            lookup_rate,
+            on_issue=self._on_lookup_issued,
+        )
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, trace_node: int) -> MSPastryNode:
+        node = MSPastryNode(
+            self.sim,
+            self.network,
+            self.config,
+            random_nodeid(self._node_rng),
+            self._node_rng,
+            on_active=self._on_active,
+            on_deliver=self._on_deliver,
+            on_drop=self._on_drop,
+        )
+        self._trace_nodes[trace_node] = node
+        self.oracle.node_alive(node)
+        if self.on_spawn is not None:
+            self.on_spawn(trace_node, node)
+        seed_node = self.oracle.random_active(self._seed_rng)
+        seed = seed_node.descriptor if seed_node is not None else None
+        node.join(seed, seed_provider=self._fresh_seed)
+        return node
+
+    def _fresh_seed(self):
+        seed_node = self.oracle.random_active(self._seed_rng)
+        return seed_node.descriptor if seed_node is not None else None
+
+    def _crash(self, trace_node: int) -> None:
+        node = self._trace_nodes.pop(trace_node, None)
+        if node is None or node.crashed:
+            return
+        was_active = node.active
+        if not was_active:
+            self._never_activated += 1
+        node.crash()
+        self.oracle.node_crashed(node)
+        if was_active and self.collector is not None and self.sim.now >= self._t0:
+            self.collector.on_active_change(self.sim.now - self._t0, -1)
+
+    def _on_active(self, node: MSPastryNode) -> None:
+        self.oracle.node_activated(node)
+        if self.collector is not None and self.sim.now >= self._t0:
+            self.collector.on_active_change(self.sim.now - self._t0, +1)
+            self.collector.on_join(self.sim.now - node.joined_at)
+            self.workload.start_node(node)
+
+    def _on_deliver(self, node: MSPastryNode, msg) -> None:
+        if self.collector is None or self.sim.now < self._t0:
+            return
+        correct = self.oracle.is_correct_root(node.id, msg.key)
+        delay = self.topology.delay(msg.source.addr, node.addr)
+        self.collector.on_lookup_delivered(
+            msg, node.addr, self.sim.now - self._t0, correct,
+            delay if delay > 0 else None,
+        )
+
+    def _on_drop(self, node: MSPastryNode, msg) -> None:
+        if self.collector is not None and self.sim.now >= self._t0:
+            self.collector.on_lookup_dropped(msg, self.sim.now - self._t0)
+
+    def _on_lookup_issued(self, msg) -> None:
+        if self.collector is not None and self.sim.now >= self._t0:
+            self.collector.on_lookup_issued(msg, self.sim.now - self._t0)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: ChurnTrace,
+        extra_schedule=None,
+    ) -> RunResult:
+        """Warm up the initial population, then replay ``trace`` measured.
+
+        ``extra_schedule(sim, t0)``, when given, is called before the run so
+        callers can schedule application workloads in measured time (their
+        trace timestamps shifted by ``t0``).
+        """
+        initial = trace.initial_nodes()
+        warmup = len(initial) * self.warmup_join_interval + self.warmup_settle
+        self._t0 = warmup
+        self.collector = StatsCollector(window=self.stats_window)
+
+        for i, trace_node in enumerate(initial):
+            self.sim.schedule(i * self.warmup_join_interval, self._spawn, trace_node)
+        self.sim.schedule(warmup, self._start_measurement)
+        for event in trace.events:
+            if event.time == 0.0 and event.kind == ARRIVAL:
+                continue  # already scheduled as warm-up joins
+            if event.kind == ARRIVAL:
+                self.sim.schedule(warmup + event.time, self._spawn, event.node)
+            else:
+                self.sim.schedule(warmup + event.time, self._crash, event.node)
+
+        if extra_schedule is not None:
+            extra_schedule(self.sim, warmup)
+
+        self.sim.run(until=warmup + trace.duration)
+        self.collector.finish(trace.duration)
+        return RunResult(
+            stats=self.collector,
+            trace_name=trace.name,
+            duration=trace.duration,
+            config=self.config,
+            final_active=self.oracle.active_count,
+            nodes_never_activated=self._never_activated,
+        )
+
+    def _start_measurement(self) -> None:
+        self.network.stats = _ShiftedStats(self.collector, self._t0)
+        self.collector.active.count = self.oracle.active_count
+        for node in self.oracle.active_nodes():
+            self.workload.start_node(node)

@@ -1,0 +1,57 @@
+"""Convenience helpers for building small overlays in tests and examples."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.network.simple import UniformDelayTopology
+from repro.network.transport import Network
+from repro.pastry.config import PastryConfig
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import random_nodeid
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def build_overlay(
+    n_nodes: int,
+    config: Optional[PastryConfig] = None,
+    topology=None,
+    seed: int = 42,
+    join_interval: float = 0.5,
+    settle: float = 60.0,
+    loss_rate: float = 0.0,
+) -> Tuple[Simulator, Network, List[MSPastryNode]]:
+    """Build an ``n_nodes`` overlay through the real join protocol.
+
+    Nodes join one every ``join_interval`` seconds via the bootstrap node and
+    the simulation then settles.  Raises if any node failed to activate —
+    tests rely on a fully formed overlay.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    config = config or PastryConfig()
+    streams = RngStreams(seed)
+    sim = Simulator()
+    topology = topology if topology is not None else UniformDelayTopology(0.05)
+    network = Network(sim, topology, streams.stream("network"), loss_rate)
+    rng = streams.stream("nodes")
+
+    nodes: List[MSPastryNode] = []
+
+    def spawn(index: int) -> None:
+        node = MSPastryNode(sim, network, config, random_nodeid(rng), rng)
+        nodes.append(node)
+        seed_desc = nodes[0].descriptor if index > 0 else None
+        node.join(seed_desc)
+
+    for i in range(n_nodes):
+        sim.schedule(i * join_interval, spawn, i)
+    sim.run(until=n_nodes * join_interval + settle)
+
+    inactive = [node for node in nodes if not node.active]
+    if inactive:
+        raise RuntimeError(
+            f"{len(inactive)} of {n_nodes} nodes failed to activate during build"
+        )
+    return sim, network, nodes

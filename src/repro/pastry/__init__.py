@@ -1,0 +1,30 @@
+"""MSPastry: the paper's structured overlay with dependable routing.
+
+This package implements the full protocol stack described in sections 2-4 of
+the paper:
+
+* Pastry identifier space, leaf sets and routing tables (§2),
+* the consistent-routing algorithm of Figure 2 — join by leaf-set probing,
+  eager leaf-set repair, activation only after all probes agree (§3.1),
+* reliable routing: per-hop acks with aggressive TCP-style retransmission
+  timers and rerouting around suspected nodes (§3.2),
+* low-overhead failure detection: single left-neighbour heartbeats, active
+  routing-table liveness probes with a self-tuned period derived from the
+  raw-loss-rate model, and suppression of probes by regular traffic (§4.1),
+* proximity neighbour selection with constrained gossiping and symmetric
+  distance probes (§4.2).
+"""
+
+from repro.pastry.config import PastryConfig
+from repro.pastry.leafset import LeafSet
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import NodeDescriptor
+from repro.pastry.routingtable import RoutingTable
+
+__all__ = [
+    "LeafSet",
+    "MSPastryNode",
+    "NodeDescriptor",
+    "PastryConfig",
+    "RoutingTable",
+]

@@ -1,0 +1,84 @@
+"""MSPastry configuration: every paper parameter plus feature toggles.
+
+Defaults are the paper's base configuration (§5.1): ``b=4``, ``l=32``,
+``Tls=30 s``, per-hop acks on, routing-table probing self-tuned to a 5% raw
+loss rate, probe suppression on, symmetric distance probes on, and nodes
+generating 0.01 lookups/s (the lookup rate lives in the workload generator,
+not here).  The feature toggles exist for the paper's ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PastryConfig:
+    # --- identifier space / routing structure (§2) ---------------------
+    b: int = 4  # digit size in bits; routing table has 2^b columns
+    leaf_set_size: int = 32  # l: l/2 neighbours on each side
+
+    # --- failure detection (§3.1, §4.1) --------------------------------
+    probe_timeout: float = 3.0  # To: same as the TCP SYN timeout
+    max_probe_retries: int = 2
+    heartbeat_period: float = 30.0  # Tls
+    #: baseline for the §4.1 ablation: heartbeat every leaf-set member
+    #: instead of only the left neighbour (cost grows with l)
+    heartbeat_all_leafset: bool = False
+    active_rt_probing: bool = True
+    self_tuning: bool = True
+    target_raw_loss: float = 0.05  # Lr: tuned raw loss rate target
+    rt_probe_period: float = 60.0  # Trt when self-tuning is off
+    rt_probe_period_max: float = 86400.0  # self-tuning upper clamp
+    self_tuning_interval: float = 30.0  # how often Trt is recomputed
+    #: ceiling on the liveness-sweep period: even when the raw-loss model
+    #: says routing-table probing is unnecessary (tiny overlays, low churn),
+    #: the whole routing state is swept at least this often so dead leaf-set
+    #: members beyond the failure-announcement radius get cleaned up
+    state_sweep_period: float = 900.0
+    failure_history_size: int = 16  # K failures remembered for the mu estimate
+    probe_suppression: bool = True
+
+    # --- reliable routing (§3.2) ----------------------------------------
+    per_hop_acks: bool = True
+    rto_initial: float = 0.5
+    rto_min: float = 0.05  # aggressive retransmission floor
+    rto_max: float = 6.0
+    #: srtt + w·rttvar; 2.0 is MSPastry-aggressive, 4.0 is standard TCP
+    rto_variance_weight: float = 2.0
+    max_reroutes: int = 8  # per-hop reroute attempts before giving up
+    #: retransmissions to the same hop (with backoff) before excluding it.
+    #: Off by default: rerouting around the silent hop is faster (the paper's
+    #: aggressive strategy); consistency at the final hop is protected by
+    #: deferred delivery (below) instead.
+    same_hop_retransmits: int = 0
+    #: before delivering, wait for a closer-but-suspected leaf-set node to
+    #: either answer its probe (we forward to it) or be marked faulty (we
+    #: deliver); bounds the consistency violations under link loss (§3.2)
+    defer_delivery_on_suspect: bool = True
+    delivery_defer_interval: float = 0.5
+    max_delivery_deferrals: int = 4
+
+    # --- proximity neighbour selection (§4.2) ---------------------------
+    pns: bool = True
+    distance_probe_count: int = 3  # probes per measurement (median taken)
+    distance_probe_spacing: float = 1.0  # seconds between probes
+    symmetric_distance_probes: bool = True
+    nearest_neighbour_join: bool = True  # seed discovery before joining
+    rt_maintenance_period: float = 1200.0  # periodic RT gossip (20 min)
+    passive_rt_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.b <= 8:
+            raise ValueError(f"b out of range [1, 8]: {self.b}")
+        if self.leaf_set_size < 2 or self.leaf_set_size % 2 != 0:
+            raise ValueError(f"leaf set size must be even and >= 2: {self.leaf_set_size}")
+        if self.probe_timeout <= 0 or self.heartbeat_period <= 0:
+            raise ValueError("timeouts must be positive")
+        if not 0.0 < self.target_raw_loss < 1.0:
+            raise ValueError(f"target_raw_loss must be in (0, 1): {self.target_raw_loss}")
+
+    @property
+    def rt_probe_period_min(self) -> float:
+        """Paper lower bound on Trt: (retries + 1) * To."""
+        return (self.max_probe_retries + 1) * self.probe_timeout

@@ -1,0 +1,125 @@
+"""Nearest-neighbour seed discovery (paper §2, after Castro et al. [4, 5]).
+
+A joining node obtains a random overlay node, then walks towards smaller
+measured network distance: it asks the current candidate for its routing
+state, measures the distance to the returned nodes with *single* distance
+probes (cutting join latency; later measurements use the full probe
+sequence), and hops to the closest node found.  The walk terminates when no
+improvement is found or after a bounded number of iterations, and the
+closest node seen seeds the join.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.pastry import messages as m
+from repro.pastry.nodeid import NodeDescriptor
+
+MAX_ITERATIONS = 5
+MAX_CANDIDATES_PER_ROUND = 16
+
+
+class SeedDiscovery:
+    """One nearest-neighbour walk; constructed per join attempt."""
+
+    def __init__(
+        self,
+        node,
+        start: NodeDescriptor,
+        done: Callable[[NodeDescriptor], None],
+    ) -> None:
+        self._node = node
+        self._done = done
+        self._visited: Set[int] = set()
+        self._best = start
+        self._best_rtt: Optional[float] = None
+        self._iterations = 0
+        self._outstanding = 0
+        self._round_best: Optional[NodeDescriptor] = None
+        self._round_best_rtt = float("inf")
+        self._timeout = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._node.prox.measure(self._best, self._measured_start, single=True)
+
+    def _measured_start(self, rtt: Optional[float]) -> None:
+        if self._finished:
+            return
+        self._best_rtt = rtt if rtt is not None else float("inf")
+        self._ask(self._best)
+
+    def _ask(self, target: NodeDescriptor) -> None:
+        self._visited.add(target.id)
+        self._iterations += 1
+        self._node.send(target, m.StateRequest())
+        self._timeout = self._node.sim.schedule(
+            self._node.config.probe_timeout * 2, self._request_timeout
+        )
+
+    def _request_timeout(self) -> None:
+        self._finish()
+
+    # ------------------------------------------------------------------
+    def on_state_reply(self, sender: NodeDescriptor, msg: m.StateReply) -> None:
+        if self._finished or self._timeout is None:
+            return
+        self._timeout.cancel()
+        self._timeout = None
+        candidates = [
+            d
+            for d in msg.nodes
+            if d.id not in self._visited and d.id != self._node.id
+        ][:MAX_CANDIDATES_PER_ROUND]
+        if not candidates:
+            self._finish()
+            return
+        self._round_best = None
+        self._round_best_rtt = float("inf")
+        self._outstanding = len(candidates)
+        for desc in candidates:
+            self._node.prox.measure(
+                desc, self._make_collector(desc), single=True
+            )
+
+    def _make_collector(self, desc: NodeDescriptor):
+        def collect(rtt: Optional[float]) -> None:
+            if self._finished:
+                return
+            self._outstanding -= 1
+            if rtt is not None and rtt < self._round_best_rtt:
+                self._round_best = desc
+                self._round_best_rtt = rtt
+            if self._outstanding == 0:
+                self._round_done()
+
+        return collect
+
+    def _round_done(self) -> None:
+        improved = (
+            self._round_best is not None
+            and (self._best_rtt is None or self._round_best_rtt < self._best_rtt)
+        )
+        if improved:
+            self._best = self._round_best
+            self._best_rtt = self._round_best_rtt
+            if self._iterations < MAX_ITERATIONS:
+                self._ask(self._best)
+                return
+        self._finish()
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self._timeout is not None:
+            self._timeout.cancel()
+        self._done(self._best)
+
+    def cancel(self) -> None:
+        self._finished = True
+        if self._timeout is not None:
+            self._timeout.cancel()

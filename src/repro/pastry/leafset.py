@@ -1,0 +1,188 @@
+"""Pastry leaf set: the l/2 closest nodeIds on each side of the owner.
+
+The leaf sets connect the overlay nodes in a ring and are the sole state
+needed for consistent routing (paper §3.1).  With fewer than ``l`` known
+members the two sides wrap around the ring and overlap — that overlap is how
+we detect that the leaf set spans the entire (known) ring, which is the
+completeness condition for small overlays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pastry.nodeid import (
+    NodeDescriptor,
+    clockwise_distance,
+    counter_clockwise_distance,
+    is_closer_root,
+)
+
+
+class LeafSet:
+    def __init__(self, owner: NodeDescriptor, size: int) -> None:
+        if size < 2 or size % 2 != 0:
+            raise ValueError(f"leaf set size must be even and >= 2: {size}")
+        self.owner = owner
+        self.size = size  # l
+        self.version = 0  # bumped on every membership change
+        self._members: Dict[int, NodeDescriptor] = {}
+        self._left: Optional[List[NodeDescriptor]] = None
+        self._right: Optional[List[NodeDescriptor]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, desc: NodeDescriptor) -> bool:
+        """Insert a node; returns True if it is a member afterwards."""
+        if desc.id == self.owner.id:
+            return False
+        previous = self._members.get(desc.id)
+        if previous is not None and previous.addr == desc.addr:
+            return True  # already a member, nothing changed
+        self._members[desc.id] = desc
+        self._invalidate()
+        self._prune()
+        admitted = desc.id in self._members
+        if admitted:
+            self.version += 1
+        return admitted
+
+    def remove(self, node_id: int) -> bool:
+        if self._members.pop(node_id, None) is None:
+            return False
+        self.version += 1
+        self._invalidate()
+        return True
+
+    def _prune(self) -> None:
+        """Drop members that fall outside both sides."""
+        keep = {d.id for d in self.left_side} | {d.id for d in self.right_side}
+        if len(keep) != len(self._members):
+            self._members = {i: self._members[i] for i in keep}
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._left = None
+        self._right = None
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def left_side(self) -> List[NodeDescriptor]:
+        """Members counter-clockwise of the owner, closest first."""
+        if self._left is None:
+            ordered = sorted(
+                self._members.values(),
+                key=lambda d: counter_clockwise_distance(self.owner.id, d.id),
+            )
+            self._left = ordered[: self.size // 2]
+        return self._left
+
+    @property
+    def right_side(self) -> List[NodeDescriptor]:
+        """Members clockwise of the owner, closest first."""
+        if self._right is None:
+            ordered = sorted(
+                self._members.values(),
+                key=lambda d: clockwise_distance(self.owner.id, d.id),
+            )
+            self._right = ordered[: self.size // 2]
+        return self._right
+
+    @property
+    def leftmost(self) -> Optional[NodeDescriptor]:
+        left = self.left_side
+        return left[-1] if left else None
+
+    @property
+    def rightmost(self) -> Optional[NodeDescriptor]:
+        right = self.right_side
+        return right[-1] if right else None
+
+    @property
+    def left_neighbour(self) -> Optional[NodeDescriptor]:
+        left = self.left_side
+        return left[0] if left else None
+
+    @property
+    def right_neighbour(self) -> Optional[NodeDescriptor]:
+        right = self.right_side
+        return right[0] if right else None
+
+    def members(self) -> List[NodeDescriptor]:
+        return list(self._members.values())
+
+    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+        return self._members.get(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Predicates used by routing and the consistency protocol
+    # ------------------------------------------------------------------
+    def wrapped(self) -> bool:
+        """Whether the two sides share a member.
+
+        With per-direction closest-first sides this is equivalent (by
+        pigeonhole) to knowing fewer than ``l`` members: either the overlay
+        really is small and the leaf set spans the whole ring, or the set
+        lost members and is mid-repair; the owner cannot distinguish the two
+        locally, so routing treats the set as ring-covering while the repair
+        machinery (probe announcements plus extreme re-probing) refills it.
+        """
+        return 0 < len(self._members) < self.size
+
+    @property
+    def complete(self) -> bool:
+        """True when both sides are full or the set wraps the whole ring."""
+        if len(self._members) == 0:
+            return False
+        half = self.size // 2
+        if len(self.left_side) == half and len(self.right_side) == half:
+            return True
+        return self.wrapped()
+
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` lies on the leftmost→rightmost arc through the owner."""
+        if len(self._members) == 0:
+            return True  # single-node overlay: the owner is root of everything
+        if self.wrapped():
+            return True  # the leaf set spans the entire known ring
+        leftmost, rightmost = self.leftmost, self.rightmost
+        if leftmost is None or rightmost is None:
+            return False  # one side empty: deliveries are suspended (§3.1)
+        span = clockwise_distance(leftmost.id, rightmost.id)
+        return clockwise_distance(leftmost.id, key) <= span
+
+    def would_admit(self, desc: NodeDescriptor) -> bool:
+        """Whether ``desc`` would become a member if added (without adding).
+
+        Used to avoid probing leaf-set candidates that would be pruned
+        immediately: a candidate is admissible when either side is not full
+        or it is closer than the current extreme on that side.
+        """
+        if desc.id == self.owner.id or desc.id in self._members:
+            return False
+        half = self.size // 2
+        left, right = self.left_side, self.right_side
+        admit_left = len(left) < half or counter_clockwise_distance(
+            self.owner.id, desc.id
+        ) < counter_clockwise_distance(self.owner.id, left[-1].id)
+        admit_right = len(right) < half or clockwise_distance(
+            self.owner.id, desc.id
+        ) < clockwise_distance(self.owner.id, right[-1].id)
+        return admit_left or admit_right
+
+    def closest_to(self, key: int) -> NodeDescriptor:
+        """Member (or owner) with minimal ring distance to ``key``."""
+        best = self.owner
+        for desc in self._members.values():
+            if is_closer_root(desc.id, best.id, key):
+                best = desc
+        return best

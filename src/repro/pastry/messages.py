@@ -1,0 +1,284 @@
+"""Overlay protocol messages.
+
+Every message class carries a ``category`` used by the metrics collector for
+the control-traffic breakdown of the paper's Figure 4 (distance probes, leaf
+set heartbeats/probes, routing-table probes, acks + retransmits, join).
+Lookups are application traffic and excluded from control-traffic counts.
+
+``tuning_hint`` piggybacks the sender's locally computed routing-table
+probing period T^l_rt (paper §4.1, self-tuning); receivers adopt the median
+of hints from their routing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pastry.nodeid import NodeDescriptor
+
+# Control-traffic categories (Figure 4 breakdown).
+CAT_DISTANCE = "distance_probes"
+CAT_LEAFSET = "leafset"
+CAT_HEARTBEAT = "heartbeats"
+CAT_RT_PROBE = "rt_probes"
+CAT_ACK = "acks_retransmits"
+CAT_JOIN = "join"
+CAT_RT_MAINT = "rt_maintenance"
+CAT_LOOKUP = "lookup"
+
+
+@dataclass
+class Message:
+    category = "unknown"
+    sender: NodeDescriptor = field(default=None)
+    tuning_hint: Optional[float] = field(default=None)
+
+
+@dataclass
+class JoinRequest(Message):
+    category = CAT_JOIN
+    joiner: NodeDescriptor = None
+    #: routing-table rows accumulated along the join route: row index ->
+    #: descriptors from the node whose prefix match length equals that row
+    rows: Dict[int, List[NodeDescriptor]] = field(default_factory=dict)
+
+
+@dataclass
+class JoinReply(Message):
+    category = CAT_JOIN
+    rows: Dict[int, List[NodeDescriptor]] = field(default_factory=dict)
+    leaf_set: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class LsProbe(Message):
+    """Leaf set probe (Figure 2): carries the sender's leaf set and failed set."""
+
+    category = CAT_LEAFSET
+    leaf_set: List[NodeDescriptor] = field(default_factory=list)
+    failed: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class LsProbeReply(Message):
+    category = CAT_LEAFSET
+    leaf_set: List[NodeDescriptor] = field(default_factory=list)
+    failed: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class Heartbeat(Message):
+    """Sent every Tls to the left neighbour only (§4.1)."""
+
+    category = CAT_HEARTBEAT
+
+
+@dataclass
+class RtProbe(Message):
+    """Liveness probe for a routing-table entry."""
+
+    category = CAT_RT_PROBE
+    seq: int = 0
+
+
+@dataclass
+class RtProbeReply(Message):
+    category = CAT_RT_PROBE
+    seq: int = 0
+
+
+@dataclass
+class DistanceProbe(Message):
+    """Round-trip measurement probe for proximity neighbour selection."""
+
+    category = CAT_DISTANCE
+    seq: int = 0
+
+
+@dataclass
+class DistanceProbeReply(Message):
+    category = CAT_DISTANCE
+    seq: int = 0
+
+
+@dataclass
+class DistanceReport(Message):
+    """Symmetric probing: tells the peer the RTT we measured to it (§4.2)."""
+
+    category = CAT_DISTANCE
+    rtt: float = 0.0
+
+
+@dataclass
+class RowAnnounce(Message):
+    """A joining node sends row r of its table to each node in that row."""
+
+    category = CAT_JOIN
+    row: int = 0
+    entries: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class RowRequest(Message):
+    """Periodic routing-table maintenance: ask a row member for its row."""
+
+    category = CAT_RT_MAINT
+    row: int = 0
+
+
+@dataclass
+class RowReply(Message):
+    category = CAT_RT_MAINT
+    row: int = 0
+    entries: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class SlotRequest(Message):
+    """Passive repair: ask the next hop for an entry for an empty slot."""
+
+    category = CAT_RT_MAINT
+    row: int = 0
+    col: int = 0
+
+
+@dataclass
+class SlotReply(Message):
+    category = CAT_RT_MAINT
+    row: int = 0
+    col: int = 0
+    entry: Optional[NodeDescriptor] = None
+
+
+@dataclass
+class LeafSetRequest(Message):
+    """Generalized leaf-set repair: ask for the l+1 closest nodes to a key."""
+
+    category = CAT_LEAFSET
+    key: int = 0
+
+
+@dataclass
+class LeafSetReply(Message):
+    category = CAT_LEAFSET
+    key: int = 0
+    nodes: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class Lookup(Message):
+    """Application lookup routed to the key's root (§2)."""
+
+    category = CAT_LOOKUP
+    msg_id: int = 0
+    key: int = 0
+    source: NodeDescriptor = None
+    sent_at: float = 0.0
+    hops: int = 0
+    payload: object = None
+    #: switches per-hop acks off for this message when the app requests it
+    wants_acks: bool = True
+    #: times delivery was deferred waiting on a suspected closer node
+    deferrals: int = 0
+
+
+@dataclass
+class Ack(Message):
+    """Per-hop acknowledgement for a Lookup (§3.2)."""
+
+    category = CAT_ACK
+    msg_id: int = 0
+
+
+CONTROL_CATEGORIES: Tuple[str, ...] = (
+    CAT_DISTANCE,
+    CAT_LEAFSET,
+    CAT_HEARTBEAT,
+    CAT_RT_PROBE,
+    CAT_ACK,
+    CAT_JOIN,
+    CAT_RT_MAINT,
+)
+
+
+@dataclass
+class StateRequest(Message):
+    """Nearest-neighbour seed discovery: ask a node for its routing state."""
+
+    category = CAT_JOIN
+
+
+@dataclass
+class StateReply(Message):
+    category = CAT_JOIN
+    nodes: List[NodeDescriptor] = field(default_factory=list)
+
+
+@dataclass
+class AppDirect(Message):
+    """Application-level point-to-point message (counted as app traffic)."""
+
+    category = CAT_LOOKUP
+    payload: object = None
+
+
+# ----------------------------------------------------------------------
+# Wire-size model
+# ----------------------------------------------------------------------
+#: fixed per-message overhead: UDP/IP headers plus type tag and msg ids
+HEADER_BYTES = 48
+#: a NodeDescriptor on the wire: 128-bit id + address + port
+DESCRIPTOR_BYTES = 22
+
+
+def _descriptor_list_bytes(descs) -> int:
+    return DESCRIPTOR_BYTES * len(descs)
+
+
+def wire_size(msg: Message) -> int:
+    """Estimated bytes of ``msg`` on the wire.
+
+    The paper reports control traffic in messages/second; this model adds a
+    bandwidth view for library users.  Sizes follow the obvious encoding:
+    fixed header, 22 bytes per node descriptor carried, 16 bytes per key.
+    """
+    size = HEADER_BYTES
+    if msg.sender is not None:
+        size += DESCRIPTOR_BYTES
+    if msg.tuning_hint is not None:
+        size += 8
+    if isinstance(msg, (LsProbe, LsProbeReply)):
+        size += _descriptor_list_bytes(msg.leaf_set)
+        size += _descriptor_list_bytes(msg.failed)
+    elif isinstance(msg, (JoinRequest, JoinReply)):
+        rows = getattr(msg, "rows", {})
+        size += sum(_descriptor_list_bytes(entries) for entries in rows.values())
+        size += _descriptor_list_bytes(getattr(msg, "leaf_set", ()))
+        if isinstance(msg, JoinRequest) and msg.joiner is not None:
+            size += DESCRIPTOR_BYTES
+    elif isinstance(msg, (RowAnnounce, RowReply)):
+        size += 2 + _descriptor_list_bytes(msg.entries)
+    elif isinstance(msg, (StateReply, LeafSetReply)):
+        size += _descriptor_list_bytes(
+            msg.nodes if hasattr(msg, "nodes") else ()
+        )
+        if isinstance(msg, LeafSetReply):
+            size += 16
+    elif isinstance(msg, LeafSetRequest):
+        size += 16
+    elif isinstance(msg, Lookup):
+        size += 16 + 8 + DESCRIPTOR_BYTES  # key, id, source
+    elif isinstance(msg, (SlotRequest, SlotReply)):
+        size += 4
+        if isinstance(msg, SlotReply) and msg.entry is not None:
+            size += DESCRIPTOR_BYTES
+    elif isinstance(msg, (Ack, RtProbe, RtProbeReply, DistanceProbe,
+                          DistanceProbeReply, Heartbeat, RowRequest,
+                          StateRequest)):
+        size += 8
+    elif isinstance(msg, DistanceReport):
+        size += 8
+    elif isinstance(msg, AppDirect):
+        size += 16
+    return size

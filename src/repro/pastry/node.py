@@ -1,0 +1,997 @@
+"""MSPastry node: consistent and reliable overlay routing (paper Figure 2).
+
+One instance is one overlay node.  The node is a state machine driven by
+network messages and timers; there are no threads.  Life cycle::
+
+    node = MSPastryNode(sim, network, config, node_id, rng)
+    node.join(seed_descriptor)        # None -> bootstrap node
+    ... becomes active after its leaf-set probes all agree ...
+    node.lookup(key)                  # route a message to the key's root
+    node.crash()                      # crash-stop: all state is lost
+
+Dependability machinery (paper §3):
+
+* join: the joining node routes a join request via a nearby seed, initialises
+  its routing table from rows gathered along the route, then *probes every
+  leaf-set member* and only becomes active once all probes agree — this is
+  what makes routing consistent,
+* failure detection: heartbeat to the left neighbour, silence monitoring of
+  the right neighbour, active liveness probes of routing-table entries with
+  a self-tuned period, all suppressible by regular traffic,
+* reliable routing: per-hop acks, aggressive retransmission, temporary
+  exclusion of suspects, eager leaf-set repair and lazy routing-table repair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import chain
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.network.transport import Network
+from repro.pastry import messages as m
+from repro.pastry.acks import HopAckManager
+from repro.pastry.config import PastryConfig
+from repro.pastry.discovery import SeedDiscovery
+from repro.pastry.leafset import LeafSet
+from repro.pastry.nodeid import (
+    NodeDescriptor,
+    digit,
+    is_closer_root,
+    ring_distance,
+    shared_prefix_length,
+)
+from repro.pastry.pns import ProximityManager
+from repro.pastry.routingtable import RoutingTable
+from repro.pastry.rto import RtoTable
+from repro.pastry.selftuning import SelfTuner
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.periodic import PeriodicTask
+
+JOIN_RETRY_INTERVAL = 15.0
+MAX_JOIN_ATTEMPTS = 5
+REPAIR_PROBE_DELAY = 0.5
+MAX_BUFFERED = 128
+MAX_FAILED_REMEMBERED = 128
+
+
+@dataclass
+class _ProbeState:
+    desc: NodeDescriptor
+    retries: int
+    timer: Optional[EventHandle]
+
+
+class MSPastryNode:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: PastryConfig,
+        node_id: int,
+        rng: random.Random,
+        on_active: Optional[Callable[["MSPastryNode"], None]] = None,
+        on_deliver: Optional[Callable[["MSPastryNode", m.Lookup], None]] = None,
+        on_drop: Optional[Callable[["MSPastryNode", m.Lookup], None]] = None,
+        on_forward: Optional[Callable[["MSPastryNode", m.Lookup], bool]] = None,
+        on_app_direct: Optional[Callable[["MSPastryNode", m.AppDirect], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.rng = rng
+        self.addr = network.attach()
+        self.descriptor = NodeDescriptor(node_id, self.addr)
+        self.on_active = on_active
+        self.on_deliver = on_deliver
+        self.on_drop = on_drop
+        self.on_forward = on_forward  # KBR forward upcall; False stops routing
+        self.on_app_direct = on_app_direct
+
+        self.leaf_set = LeafSet(self.descriptor, config.leaf_set_size)
+        self.routing_table = RoutingTable(self.descriptor, config.b)
+        self.active = False
+        self.crashed = False
+        self.joined_at: Optional[float] = None
+        self.activated_at: Optional[float] = None
+
+        self.failed: Dict[int, NodeDescriptor] = {}
+        self.suspected: Set[int] = set()
+        self.probing: Dict[int, _ProbeState] = {}
+        self._rt_probing: Dict[int, _ProbeState] = {}
+        self.last_heard: Dict[int, float] = {}
+        self.last_sent: Dict[int, float] = {}
+
+        self.rto_table = RtoTable(
+            config.rto_initial,
+            config.rto_min,
+            config.rto_max,
+            variance_weight=config.rto_variance_weight,
+        )
+        self.tuner = SelfTuner(config)
+        self.prox = ProximityManager(self)
+        self.acks = HopAckManager(
+            sim,
+            self.rto_table,
+            config.max_reroutes,
+            reroute=self._reroute_lookup,
+            suspect=self.suspect,
+            on_drop=self._lookup_dropped,
+            same_hop_retransmits=config.same_hop_retransmits,
+            resend=self._resend_lookup,
+            probe=self.probe,
+        )
+
+        self._buffered: List[m.Message] = []
+        self._lookup_seq = 0
+        self._tasks: List[PeriodicTask] = []
+        self._timers: List[EventHandle] = []
+        self._discovery: Optional[SeedDiscovery] = None
+        self._join_seed: Optional[NodeDescriptor] = None
+        self._seed_provider: Optional[Callable[[], Optional[NodeDescriptor]]] = None
+        self._join_attempts = 0
+        self._join_timer: Optional[EventHandle] = None
+        self._monitored_id: Optional[int] = None
+        self._monitor_since = 0.0
+        tuned = (
+            config.rt_probe_period_max if config.self_tuning else config.rt_probe_period
+        )
+        self._rt_period = min(tuned, config.state_sweep_period)
+        self._rt_scan_handle: Optional[EventHandle] = None
+        self._last_rt_scan = 0.0
+        self._refill_version = -1
+        self._deferred: Dict[int, List[m.Lookup]] = {}
+        self._deferred_ids: Set[int] = set()
+
+        network.register(self.addr, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def id(self) -> int:
+        return self.descriptor.id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else ("active" if self.active else "joining")
+        return f"MSPastryNode({self.id:08x}.., {state})"
+
+    def routing_state_members(self) -> List[NodeDescriptor]:
+        """Unique descriptors across routing table and leaf set."""
+        seen: Dict[int, NodeDescriptor] = {}
+        for desc in chain(self.routing_table.entries(), self.leaf_set.members()):
+            seen[desc.id] = desc
+        return list(seen.values())
+
+    def is_failed(self, node_id: int) -> bool:
+        return node_id in self.failed
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dest: NodeDescriptor, msg: m.Message) -> None:
+        msg.sender = self.descriptor
+        if self.config.self_tuning and isinstance(
+            msg, (m.LsProbe, m.LsProbeReply, m.Heartbeat, m.RtProbe, m.RtProbeReply)
+        ):
+            msg.tuning_hint = self.tuner.local_period
+        self.last_sent[dest.id] = self.sim.now
+        self.network.send(self.addr, dest.addr, msg)
+
+    # ------------------------------------------------------------------
+    # Join (paper §2 and Figure 2)
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        seed: Optional[NodeDescriptor],
+        seed_provider: Optional[Callable[[], Optional[NodeDescriptor]]] = None,
+    ) -> None:
+        """Join the overlay via ``seed`` (None bootstraps a new overlay)."""
+        self.joined_at = self.sim.now
+        self.tuner.failures.start(self.sim.now)
+        self._seed_provider = seed_provider
+        if seed is None:
+            self._activate()
+            return
+        self._join_seed = seed
+        if self.config.pns and self.config.nearest_neighbour_join:
+            self._discovery = SeedDiscovery(self, seed, self._discovered_seed)
+            self._discovery.start()
+        else:
+            self._send_join(seed)
+
+    def _discovered_seed(self, seed: NodeDescriptor) -> None:
+        if self.crashed or self.active:
+            return
+        self._discovery = None
+        self._send_join(seed)
+
+    def _send_join(self, seed: NodeDescriptor) -> None:
+        self._join_attempts += 1
+        self.send(seed, m.JoinRequest(joiner=self.descriptor))
+        self._join_timer = self.sim.schedule(JOIN_RETRY_INTERVAL, self._join_retry)
+
+    def _join_retry(self) -> None:
+        if self.crashed or self.active:
+            return
+        if self._join_attempts >= MAX_JOIN_ATTEMPTS:
+            return  # gives up; stays inactive (dies with high churn, §5.3)
+        seed = self._join_seed
+        if self._seed_provider is not None:
+            fresh = self._seed_provider()
+            if fresh is not None and fresh.id != self.id:
+                seed = fresh
+        if seed is not None:
+            self._send_join(seed)
+
+    def _on_join_request(self, msg: m.JoinRequest) -> None:
+        # Figure 2: R.add(Ri) — contribute our routing table rows en route.
+        for row in self.routing_table.occupied_rows():
+            msg.rows.setdefault(row, []).extend(self.routing_table.row_entries(row))
+        # The joiner may already be known (distance reports, gossip) but it
+        # is not active: never route its own join request to it.
+        self._route(msg, msg.joiner.id, excluded=frozenset({msg.joiner.id}))
+
+    def _join_request_at_root(self, msg: m.JoinRequest) -> None:
+        if not self.active:
+            self._buffer(msg)
+            return
+        reply = m.JoinReply(
+            rows=msg.rows,
+            leaf_set=self.leaf_set.members() + [self.descriptor],
+        )
+        self.send(msg.joiner, reply)
+
+    def _on_join_reply(self, msg: m.JoinReply) -> None:
+        if self.crashed or self.active:
+            return
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        proximity = self.prox.proximity_of if self.config.pns else None
+        for entries in msg.rows.values():
+            for desc in entries:
+                if desc.id != self.id:
+                    self.routing_table.add(desc, proximity)
+        for desc in msg.leaf_set:
+            if desc.id != self.id:
+                self.routing_table.add(desc, proximity)
+                self.leaf_set.add(desc)
+        for desc in self.leaf_set.members():
+            self.probe(desc)
+        if not self.probing:
+            # Joined an overlay consisting solely of the (empty-leaf-set)
+            # root: probe the root itself so it learns about us.
+            if msg.sender is not None:
+                self.probe(msg.sender)
+
+    # ------------------------------------------------------------------
+    # Leaf-set probing: the consistency core (Figure 2)
+    # ------------------------------------------------------------------
+    def probe(self, desc: NodeDescriptor) -> None:
+        if desc.id == self.id or desc.id in self.probing or desc.id in self.failed:
+            return
+        state = _ProbeState(desc=desc, retries=0, timer=None)
+        self.probing[desc.id] = state
+        self._send_ls_probe(desc, state)
+
+    def _send_ls_probe(self, desc: NodeDescriptor, state: _ProbeState) -> None:
+        state.timer = self.sim.schedule(
+            self.config.probe_timeout, self._probe_timeout, desc.id
+        )
+        self.send(
+            desc,
+            m.LsProbe(
+                leaf_set=self.leaf_set.members(),
+                failed=list(self.failed.values()),
+            ),
+        )
+
+    def _probe_timeout(self, node_id: int) -> None:
+        if self.crashed:
+            return
+        state = self.probing.get(node_id)
+        if state is None:
+            return
+        if state.retries < self.config.max_probe_retries:
+            state.retries += 1
+            self._send_ls_probe(state.desc, state)
+            return
+        self._mark_faulty(state.desc)
+        self.done_probing(node_id)
+
+    def _mark_faulty(self, desc: NodeDescriptor) -> None:
+        """Remove a confirmed-dead node from all routing state (Figure 2)."""
+        was_leaf = desc.id in self.leaf_set
+        self.leaf_set.remove(desc.id)
+        self.routing_table.remove(desc.id)
+        self.suspected.discard(desc.id)
+        if len(self.failed) >= MAX_FAILED_REMEMBERED:
+            self.failed.pop(next(iter(self.failed)))
+        self.failed[desc.id] = desc
+        self.tuner.forget_peer(desc.id)
+        self.tuner.failures.record_failure(self.sim.now)
+        self.prox.forget(desc.id)
+        self.last_heard.pop(desc.id, None)
+        if self._deferred and desc.id in self._deferred:
+            self._flush_deferred_for(desc.id)
+        if was_leaf and self.active:
+            # §4.1: announce the failure to the other leaf-set members; their
+            # replies double as repair candidates.
+            for member in self.leaf_set.members():
+                self.probe(member)
+
+    def done_probing(self, node_id: int) -> None:
+        state = self.probing.pop(node_id, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        if self.probing:
+            return
+        if self.leaf_set.complete:
+            self.failed.clear()
+            if not self.active:
+                self._activate()
+            else:
+                self._flush_buffered()
+            self._refill_if_thin()
+        else:
+            self._repair_leaf_set()
+
+    def _handle_ls_info(self, sender: NodeDescriptor, msg) -> None:
+        """Common processing of LS-PROBE and LS-PROBE-REPLY (Figure 2)."""
+        self.failed.pop(sender.id, None)
+        self.leaf_set.add(sender)
+        self.consider_for_routing_table(sender)
+        # Verify claimed failures of our own leaf-set members ourselves.
+        for desc in msg.failed:
+            if desc.id == self.id:
+                continue
+            if desc.id in self.leaf_set:
+                member = self.leaf_set.get(desc.id)
+                self.leaf_set.remove(desc.id)
+                self.probe(member)
+        # Candidates from the sender's leaf set, probed before inclusion.
+        for desc in msg.leaf_set:
+            if desc.id == self.id or desc.id in self.failed:
+                continue
+            if desc.id in self.leaf_set:
+                continue
+            if self.leaf_set.would_admit(desc):
+                self.probe(desc)
+
+    def _on_ls_probe(self, sender: NodeDescriptor, msg: m.LsProbe) -> None:
+        self._handle_ls_info(sender, msg)
+        self.send(
+            sender,
+            m.LsProbeReply(
+                leaf_set=self.leaf_set.members(),
+                failed=list(self.failed.values()),
+            ),
+        )
+
+    def _on_ls_probe_reply(self, sender: NodeDescriptor, msg: m.LsProbeReply) -> None:
+        self._handle_ls_info(sender, msg)
+        if sender.id in self.probing:
+            self.done_probing(sender.id)
+
+    def suspect(self, desc: NodeDescriptor) -> None:
+        """SUSPECT-FAULTY: exclude from routing until a probe resolves it."""
+        if desc.id == self.id or desc.id in self.failed:
+            return
+        self.suspected.add(desc.id)
+        self.probe(desc)
+
+    # ------------------------------------------------------------------
+    # Leaf-set repair (§3.1)
+    # ------------------------------------------------------------------
+    def _repair_leaf_set(self) -> None:
+        half = self.config.leaf_set_size // 2
+        left, right = self.leaf_set.left_side, self.leaf_set.right_side
+        if left and len(left) < half:
+            self._schedule_repair_probe(self.leaf_set.leftmost)
+        if right and len(right) < half:
+            self._schedule_repair_probe(self.leaf_set.rightmost)
+        if not left or not right:
+            self._generalized_repair(missing_left=not left, missing_right=not right)
+
+    def _refill_if_thin(self) -> None:
+        """Re-probe the leaf-set extremes after losses in a large ring.
+
+        A leaf set that knows fewer than ``l`` members cannot tell a small
+        overlay from one it is mid-repair in (see LeafSet.wrapped).  When it
+        still knows at least l/2 members — a strong hint the ring is large —
+        the extremes are probed so their leaf sets refill ours.  Guarded by
+        the leaf-set version so a drained probe round with no new members
+        terminates instead of ping-ponging.
+        """
+        leaf_set = self.leaf_set
+        if not leaf_set.wrapped() or len(leaf_set) < self.config.leaf_set_size // 2:
+            return
+        if leaf_set.version == self._refill_version:
+            return
+        self._refill_version = leaf_set.version
+        if leaf_set.leftmost is not None:
+            self._schedule_repair_probe(leaf_set.leftmost)
+        if leaf_set.rightmost is not None:
+            self._schedule_repair_probe(leaf_set.rightmost)
+
+    def _schedule_repair_probe(self, desc: NodeDescriptor) -> None:
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if h.active]
+        handle = self.sim.schedule(REPAIR_PROBE_DELAY, self._repair_probe, desc)
+        self._timers.append(handle)
+
+    def _repair_probe(self, desc: NodeDescriptor) -> None:
+        if self.crashed or desc.id in self.failed:
+            return
+        self.probe(desc)
+
+    def _generalized_repair(self, missing_left: bool, missing_right: bool) -> None:
+        """Use the routing table to rebuild an empty leaf-set side (§3.1)."""
+        candidates = self.routing_state_members()
+        if not candidates:
+            return  # isolated: nothing we can do
+        if missing_right:
+            target = min(
+                candidates, key=lambda d: (d.id - self.id) % (1 << 128)
+            )
+            self.send(target, m.LeafSetRequest(key=self.id))
+        if missing_left:
+            target = min(
+                candidates, key=lambda d: (self.id - d.id) % (1 << 128)
+            )
+            self.send(target, m.LeafSetRequest(key=self.id))
+
+    def _on_leafset_request(self, sender: NodeDescriptor, msg: m.LeafSetRequest) -> None:
+        pool = self.routing_state_members() + [self.descriptor]
+        pool = [d for d in pool if d.id != sender.id]
+        pool.sort(key=lambda d: ring_distance(d.id, msg.key))
+        self.send(
+            sender,
+            m.LeafSetReply(key=msg.key, nodes=pool[: self.config.leaf_set_size + 1]),
+        )
+
+    def _on_leafset_reply(self, sender: NodeDescriptor, msg: m.LeafSetReply) -> None:
+        for desc in msg.nodes:
+            if desc.id == self.id or desc.id in self.failed:
+                continue
+            if self.leaf_set.would_admit(desc):
+                self.probe(desc)
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def _activate(self) -> None:
+        if self.active or self.crashed:
+            return
+        self.active = True
+        self.activated_at = self.sim.now
+        self.failed.clear()
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        # Notify before flushing buffered traffic: the node is the root of
+        # its key range from this instant on.
+        if self.on_active is not None:
+            self.on_active(self)
+        config = self.config
+        self._tasks.append(
+            PeriodicTask(self.sim, config.heartbeat_period, self._heartbeat_tick,
+                         start_delay=self.rng.uniform(0, config.heartbeat_period))
+        )
+        self._tasks.append(
+            PeriodicTask(self.sim, config.heartbeat_period, self._monitor_tick,
+                         start_delay=self.rng.uniform(0, config.heartbeat_period))
+        )
+        if config.self_tuning:
+            self._tasks.append(
+                PeriodicTask(self.sim, config.self_tuning_interval, self._tune_tick,
+                             start_delay=self.rng.uniform(0, config.self_tuning_interval))
+            )
+        if config.pns:
+            self._tasks.append(
+                PeriodicTask(self.sim, config.rt_maintenance_period,
+                             self._maintenance_tick,
+                             start_delay=self.rng.uniform(
+                                 0.5 * config.rt_maintenance_period,
+                                 1.5 * config.rt_maintenance_period))
+            )
+        if config.active_rt_probing:
+            self._schedule_rt_scan(self.rng.uniform(0, self._rt_period))
+        if config.pns and len(self.routing_table) > 0:
+            self.prox.probe_routing_state()
+            self.prox.announce_rows()
+        self._flush_buffered()
+
+    # ------------------------------------------------------------------
+    # Failure detection timers (§4.1)
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self) -> None:
+        if self.config.heartbeat_all_leafset:
+            # Ablation baseline: heartbeat every member (cost grows with l).
+            for member in self.leaf_set.members():
+                self._heartbeat_to(member)
+            return
+        left = self.leaf_set.left_neighbour
+        if left is not None:
+            self._heartbeat_to(left)
+
+    def _heartbeat_to(self, target: NodeDescriptor) -> None:
+        if (
+            self.config.probe_suppression
+            and self.last_sent.get(target.id, -1e18)
+            > self.sim.now - self.config.heartbeat_period
+        ):
+            return
+        self.send(target, m.Heartbeat())
+
+    def _monitor_tick(self) -> None:
+        right = self.leaf_set.right_neighbour
+        if right is None:
+            return
+        if right.id != self._monitored_id:
+            self._monitored_id = right.id
+            self._monitor_since = self.sim.now
+            return
+        deadline = self.config.heartbeat_period + self.config.probe_timeout
+        heard = max(self.last_heard.get(right.id, 0.0), self._monitor_since)
+        if heard < self.sim.now - deadline:
+            self.suspected.discard(right.id)  # not a routing suspect, just silent
+            self.probe(right)
+
+    def _on_heartbeat(self, sender: NodeDescriptor) -> None:
+        """A heartbeat is a direct liveness proof: recover false positives.
+
+        A node removed on a probe false positive (likely under link loss)
+        keeps heart-beating its left neighbour; seeing the heartbeat we drop
+        it from the failed set and re-probe it so it can rejoin the leaf set
+        — this is the fast recovery from consistency violations (§3.1).
+        """
+        if sender.id in self.failed:
+            self.failed.pop(sender.id)
+            self.probe(sender)
+        elif sender.id not in self.leaf_set and self.leaf_set.would_admit(sender):
+            self.probe(sender)
+
+    def _tune_tick(self) -> None:
+        members = len(self.routing_state_members())
+        self.tuner.recompute_local(self.sim.now, self.leaf_set, members)
+        period = min(self.tuner.current_period(), self.config.state_sweep_period)
+        if period != self._rt_period:
+            self._rt_period = period
+            self._maybe_advance_rt_scan()
+
+    def _maintenance_tick(self) -> None:
+        self.prox.run_maintenance()
+
+    def _schedule_rt_scan(self, delay: float) -> None:
+        self._rt_scan_handle = self.sim.schedule(delay, self._rt_scan)
+
+    def _maybe_advance_rt_scan(self) -> None:
+        handle = self._rt_scan_handle
+        if handle is None or not handle.active:
+            return
+        desired = max(self.sim.now, self._last_rt_scan + self._rt_period)
+        if desired < handle.time:
+            handle.cancel()
+            self._schedule_rt_scan(desired - self.sim.now)
+
+    def _rt_scan(self) -> None:
+        if self.crashed:
+            return
+        self._last_rt_scan = self.sim.now
+        horizon = self.sim.now - self._rt_period
+        # Probe the whole routing state (§3.2): routing-table entries plus
+        # leaf-set members.  Heartbeats cover the immediate neighbours every
+        # Tls; this much slower sweep catches dead members farther along the
+        # sides that no failure announcement reached.
+        for desc in self.routing_state_members():
+            if desc.id in self.probing or desc.id in self._rt_probing:
+                continue
+            if desc.id in self.failed:
+                continue
+            if self.config.probe_suppression and self.last_heard.get(desc.id, -1e18) > horizon:
+                continue
+            self._send_rt_probe(desc)
+        self._schedule_rt_scan(self._rt_period)
+
+    def _send_rt_probe(self, desc: NodeDescriptor) -> None:
+        state = _ProbeState(desc=desc, retries=0, timer=None)
+        self._rt_probing[desc.id] = state
+        self._dispatch_rt_probe(desc, state)
+
+    def _dispatch_rt_probe(self, desc: NodeDescriptor, state: _ProbeState) -> None:
+        state.timer = self.sim.schedule(
+            self.config.probe_timeout, self._rt_probe_timeout, desc.id
+        )
+        self.send(desc, m.RtProbe())
+
+    def _rt_probe_timeout(self, node_id: int) -> None:
+        if self.crashed:
+            return
+        state = self._rt_probing.get(node_id)
+        if state is None:
+            return
+        if state.retries < self.config.max_probe_retries:
+            state.retries += 1
+            self._dispatch_rt_probe(state.desc, state)
+            return
+        del self._rt_probing[node_id]
+        self._mark_faulty(state.desc)
+
+    def _on_rt_probe_reply(self, sender: NodeDescriptor) -> None:
+        state = self._rt_probing.pop(sender.id, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Routing (Figure 2, routei)
+    # ------------------------------------------------------------------
+    def make_lookup(self, key: int, payload: object = None,
+                    wants_acks: Optional[bool] = None) -> m.Lookup:
+        """Create (but do not route) a lookup message originating here."""
+        self._lookup_seq += 1
+        return m.Lookup(
+            msg_id=(self.addr << 24) | (self._lookup_seq & 0xFFFFFF),
+            key=key,
+            source=self.descriptor,
+            sent_at=self.sim.now,
+            payload=payload,
+            wants_acks=self.config.per_hop_acks if wants_acks is None else wants_acks,
+        )
+
+    def route_lookup(self, msg: m.Lookup) -> None:
+        """Route a lookup created with :meth:`make_lookup`."""
+        self._route(msg, msg.key)
+
+    def lookup(self, key: int, payload: object = None,
+               wants_acks: Optional[bool] = None) -> m.Lookup:
+        """Originate a lookup; returns the message (its id tracks delivery).
+
+        Note: when the local node is itself the key's root the delivery
+        happens synchronously inside this call.  Callers that need to
+        observe the delivery must use :meth:`make_lookup`, register their
+        bookkeeping, then :meth:`route_lookup`.
+        """
+        msg = self.make_lookup(key, payload, wants_acks)
+        self.route_lookup(msg)
+        return msg
+
+    def _route(self, msg: m.Message, key: int, excluded: frozenset = frozenset()) -> bool:
+        """Route ``msg`` one step towards ``key``; True if forwarded."""
+        next_hop = self._next_hop(key, excluded)
+        if next_hop is None:
+            self._receive_root(msg, key)
+            return False
+        self._forward(msg, next_hop)
+        return True
+
+    def _next_hop(self, key: int, excluded: frozenset) -> Optional[NodeDescriptor]:
+        def usable(desc: NodeDescriptor) -> bool:
+            return (
+                desc.id not in self.suspected
+                and desc.id not in self.failed
+                and desc.id not in excluded
+            )
+
+        leaf_set = self.leaf_set
+        if leaf_set.covers(key):
+            best = self.descriptor
+            for desc in leaf_set.members():
+                if usable(desc) and is_closer_root(desc.id, best.id, key):
+                    best = desc
+            return None if best.id == self.id else best
+
+        row = shared_prefix_length(key, self.id, self.config.b)
+        primary = self.routing_table.get(row, digit(key, row, self.config.b))
+        if primary is not None and usable(primary):
+            return primary
+
+        # Route around the missing/suspect entry: any known node strictly
+        # closer to the key that shares a prefix of length >= row.
+        best = None
+        best_dist = ring_distance(self.id, key)
+        for desc in chain(self.routing_table.entries(), leaf_set.members()):
+            if not usable(desc):
+                continue
+            if shared_prefix_length(key, desc.id, self.config.b) < row:
+                continue
+            dist = ring_distance(desc.id, key)
+            if dist < best_dist:
+                best = desc
+                best_dist = dist
+        if (
+            best is not None
+            and primary is None
+            and self.config.passive_rt_repair
+            and self.config.pns
+        ):
+            self.send(best, m.SlotRequest(row=row, col=digit(key, row, self.config.b)))
+        return best
+
+    def _forward(self, msg: m.Message, next_hop: NodeDescriptor) -> None:
+        if isinstance(msg, m.Lookup):
+            if msg.wants_acks and self.config.per_hop_acks:
+                self.acks.track(msg, next_hop)
+        self.send(next_hop, msg)
+
+    def _reroute_lookup(self, msg: m.Lookup, excluded: Set[int]) -> bool:
+        if self.crashed:
+            return False
+        return self._route(msg, msg.key, frozenset(excluded))
+
+    def _resend_lookup(self, msg: m.Lookup, next_hop: NodeDescriptor) -> None:
+        if not self.crashed:
+            self.send(next_hop, msg)
+
+    def _lookup_dropped(self, msg: m.Lookup) -> None:
+        if self.on_drop is not None:
+            self.on_drop(self, msg)
+
+    def _receive_root(self, msg: m.Message, key: int) -> None:
+        if isinstance(msg, m.JoinRequest):
+            self._join_request_at_root(msg)
+            return
+        if not isinstance(msg, m.Lookup):
+            return
+        if self.active and self._may_deliver():
+            if self._defer_for_suspect(msg, key):
+                return
+            msg.hops += 1
+            if self.on_deliver is not None:
+                self.on_deliver(self, msg)
+        else:
+            self._buffer(msg)
+
+    def _defer_for_suspect(self, msg: m.Lookup, key: int) -> bool:
+        """Hold delivery while a closer leaf-set node is merely *suspected*.
+
+        A lost packet or ack must not divert delivery to the second-closest
+        node: the suspect either answers the outstanding probe — the retry
+        fires immediately and forwards to it — or is marked faulty, in
+        which case we really are the root.  A safety timeout and a deferral
+        cap bound the extra delay when the suspect is genuinely dead.
+        """
+        if not self.config.defer_delivery_on_suspect:
+            return False
+        if msg.deferrals >= self.config.max_delivery_deferrals:
+            return False
+        blocker = None
+        for desc in self.leaf_set.members():
+            if desc.id in self.suspected and is_closer_root(desc.id, self.id, key):
+                blocker = desc
+                break
+        if blocker is None:
+            return False
+        msg.deferrals += 1
+        self._deferred.setdefault(blocker.id, []).append(msg)
+        self._deferred_ids.add(msg.msg_id)
+        self.probe(blocker)  # resolve the limbo quickly (no-op if probing)
+        handle = self.sim.schedule(
+            self.config.delivery_defer_interval, self._deferred_timeout, msg
+        )
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if h.active]
+        self._timers.append(handle)
+        return True
+
+    def _deferred_timeout(self, msg: m.Lookup) -> None:
+        """Safety valve: re-route even if the suspicion has not resolved."""
+        if self.crashed or msg.msg_id not in self._deferred_ids:
+            return
+        self._deferred_ids.discard(msg.msg_id)
+        self._route(msg, msg.key)
+
+    def _flush_deferred_for(self, node_id: int) -> None:
+        """The suspicion on ``node_id`` resolved: re-route waiting lookups."""
+        msgs = self._deferred.pop(node_id, None)
+        if not msgs:
+            return
+        for msg in msgs:
+            if msg.msg_id in self._deferred_ids:
+                self._deferred_ids.discard(msg.msg_id)
+                self._route(msg, msg.key)
+
+    def _may_deliver(self) -> bool:
+        """§3.1: no deliveries while one leaf-set side is empty (unless alone)."""
+        if len(self.leaf_set) == 0:
+            return True  # single-node overlay
+        return bool(self.leaf_set.left_side) and bool(self.leaf_set.right_side)
+
+    def _buffer(self, msg: m.Message) -> None:
+        if len(self._buffered) >= MAX_BUFFERED:
+            self._buffered.pop(0)
+        self._buffered.append(msg)
+
+    def _flush_buffered(self) -> None:
+        if not self._buffered or not self.active or not self._may_deliver():
+            return
+        buffered, self._buffered = self._buffered, []
+        for msg in buffered:
+            if isinstance(msg, m.JoinRequest):
+                self._route(msg, msg.joiner.id, excluded=frozenset({msg.joiner.id}))
+            else:
+                self._route(msg, msg.key)
+
+    def _on_lookup(self, msg: m.Lookup) -> None:
+        msg.hops += 1
+        if self.on_forward is not None and not self.on_forward(self, msg):
+            # Application consumed the message mid-route (e.g. Scribe
+            # subscription absorbed by an existing forwarder).  Still ack:
+            # the message was handled.
+            if msg.wants_acks and self.config.per_hop_acks and msg.sender is not None:
+                self.send(msg.sender, m.Ack(msg_id=msg.msg_id))
+            return
+        next_hop = self._next_hop(msg.key, frozenset())
+        deliverable = next_hop is not None or (self.active and self._may_deliver())
+        if (
+            deliverable
+            and msg.wants_acks
+            and self.config.per_hop_acks
+            and msg.sender is not None
+        ):
+            # Ack only what we can forward or deliver: a node that would
+            # merely buffer (e.g. still joining) stays silent so the
+            # previous hop reroutes around it.
+            self.send(msg.sender, m.Ack(msg_id=msg.msg_id))
+        if next_hop is None:
+            self._receive_root(msg, msg.key)
+        else:
+            self._forward(msg, next_hop)
+
+    # ------------------------------------------------------------------
+    # Routing-table upkeep
+    # ------------------------------------------------------------------
+    def consider_for_routing_table(self, desc: NodeDescriptor) -> None:
+        if desc.id == self.id or desc.id in self.failed:
+            return
+        proximity = self.prox.proximity_of if self.config.pns else None
+        self.routing_table.add(desc, proximity)
+
+    def _on_slot_request(self, sender: NodeDescriptor, msg: m.SlotRequest) -> None:
+        entry = self._find_slot_entry(sender.id, msg.row, msg.col)
+        self.send(sender, m.SlotReply(row=msg.row, col=msg.col, entry=entry))
+
+    def _find_slot_entry(
+        self, owner_id: int, row: int, col: int
+    ) -> Optional[NodeDescriptor]:
+        for desc in [self.descriptor] + self.routing_state_members():
+            if (
+                shared_prefix_length(desc.id, owner_id, self.config.b) >= row
+                and digit(desc.id, row, self.config.b) == col
+            ):
+                return desc
+        return None
+
+    def _on_slot_reply(self, msg: m.SlotReply) -> None:
+        entry = msg.entry
+        if entry is None or entry.id == self.id or entry.id in self.failed:
+            return
+        # Repair rule: never insert without a direct message — probe first.
+        if self.config.pns:
+            self.prox.measure(entry, self.prox._make_considerer(entry))
+        else:
+            self.probe(entry)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, src_addr: int, msg: m.Message) -> None:
+        if self.crashed:
+            return
+        sender = msg.sender
+        if sender is not None and sender.id != self.id:
+            self.last_heard[sender.id] = self.sim.now
+            self.suspected.discard(sender.id)
+            if self._deferred and sender.id in self._deferred:
+                self._flush_deferred_for(sender.id)
+            if msg.tuning_hint is not None:
+                self.tuner.record_hint(sender.id, msg.tuning_hint)
+
+        if isinstance(msg, m.Lookup):
+            self._on_lookup(msg)
+        elif isinstance(msg, m.Ack):
+            self.acks.on_ack(msg.msg_id, src_addr)
+        elif isinstance(msg, m.LsProbe):
+            self._on_ls_probe(sender, msg)
+        elif isinstance(msg, m.LsProbeReply):
+            self._on_ls_probe_reply(sender, msg)
+        elif isinstance(msg, m.Heartbeat):
+            self._on_heartbeat(sender)
+        elif isinstance(msg, m.JoinRequest):
+            self._on_join_request(msg)
+        elif isinstance(msg, m.JoinReply):
+            self._on_join_reply(msg)
+        elif isinstance(msg, m.RtProbe):
+            self.send(sender, m.RtProbeReply())
+        elif isinstance(msg, m.RtProbeReply):
+            self._on_rt_probe_reply(sender)
+        elif isinstance(msg, m.DistanceProbe):
+            self.prox.on_probe(sender, msg)
+        elif isinstance(msg, m.DistanceProbeReply):
+            self.prox.on_probe_reply(sender, msg)
+        elif isinstance(msg, m.DistanceReport):
+            self.prox.on_report(sender, msg)
+        elif isinstance(msg, m.RowAnnounce):
+            self.prox.on_row_announce(sender, msg)
+        elif isinstance(msg, m.RowRequest):
+            self.prox.on_row_request(sender, msg)
+        elif isinstance(msg, m.RowReply):
+            self.prox.on_row_reply(sender, msg)
+        elif isinstance(msg, m.SlotRequest):
+            self._on_slot_request(sender, msg)
+        elif isinstance(msg, m.SlotReply):
+            self._on_slot_reply(msg)
+        elif isinstance(msg, m.LeafSetRequest):
+            self._on_leafset_request(sender, msg)
+        elif isinstance(msg, m.LeafSetReply):
+            self._on_leafset_reply(sender, msg)
+        elif isinstance(msg, m.AppDirect):
+            if self.on_app_direct is not None:
+                self.on_app_direct(self, msg)
+        elif isinstance(msg, m.StateRequest):
+            self.send(sender, m.StateReply(nodes=self.routing_state_members()))
+        elif isinstance(msg, m.StateReply):
+            if self._discovery is not None:
+                self._discovery.on_state_reply(sender, msg)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def debug_state(self) -> dict:
+        """Snapshot of the node's protocol state (for operators/tests)."""
+        return {
+            "id": self.id,
+            "addr": self.addr,
+            "active": self.active,
+            "crashed": self.crashed,
+            "leaf_set_size": len(self.leaf_set),
+            "leaf_left": len(self.leaf_set.left_side),
+            "leaf_right": len(self.leaf_set.right_side),
+            "routing_table_entries": len(self.routing_table),
+            "probing": len(self.probing),
+            "rt_probing": len(self._rt_probing),
+            "suspected": len(self.suspected),
+            "failed_remembered": len(self.failed),
+            "buffered": len(self._buffered),
+            "deferred": len(self._deferred_ids),
+            "acks_in_flight": self.acks.in_flight,
+            "rt_probe_period": self._rt_period,
+            "mu_estimate": self.tuner.mu_estimate,
+            "n_estimate": self.tuner.n_estimate,
+            "proximity_cache": len(self.prox.proximity),
+        }
+
+    # ------------------------------------------------------------------
+    # Crash-stop
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: lose all state, cancel all timers, leave the network."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.active = False
+        self.network.deregister(self.addr)
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+        for state in list(self.probing.values()) + list(self._rt_probing.values()):
+            if state.timer is not None:
+                state.timer.cancel()
+        self.probing.clear()
+        self._rt_probing.clear()
+        self.acks.cancel_all()
+        self.prox.cancel_all()
+        if self._discovery is not None:
+            self._discovery.cancel()
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        if self._rt_scan_handle is not None:
+            self._rt_scan_handle.cancel()
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        self._buffered.clear()
+        self._deferred.clear()
+        self._deferred_ids.clear()
+
+    leave = crash  # voluntary departure is indistinguishable from a crash

@@ -1,0 +1,98 @@
+"""Pastry identifier space: 128-bit ring arithmetic and digit helpers.
+
+NodeIds and keys are 128-bit unsigned integers; a key is mapped to the
+active node whose identifier is numerically closest to it modulo 2^128.
+Routing interprets identifiers as digit strings in base 2^b.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+HALF_SPACE = ID_SPACE >> 1
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Identity of an overlay node: nodeId plus network address."""
+
+    id: int
+    addr: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.id:032x}@{self.addr})"
+
+
+def random_nodeid(rng: random.Random) -> int:
+    """Uniformly random 128-bit nodeId."""
+    return rng.getrandbits(ID_BITS)
+
+
+def key_of(data: bytes) -> int:
+    """Map arbitrary bytes into the identifier space (SHA-1 style)."""
+    import hashlib
+
+    return int.from_bytes(hashlib.sha1(data).digest()[:16], "big")
+
+
+def n_rows(b: int) -> int:
+    """Number of routing-table rows for digit size ``b``.
+
+    When ``b`` does not divide 128 (the paper sweeps b = 1..5) the last row
+    holds a shorter, partial digit.
+    """
+    if b < 1:
+        raise ValueError(f"b must be >= 1: {b}")
+    return (ID_BITS + b - 1) // b
+
+
+def digit(identifier: int, row: int, b: int) -> int:
+    """The ``row``-th base-2^b digit of ``identifier``, most significant first.
+
+    The final digit is partial when ``b`` does not divide 128.
+    """
+    shift = ID_BITS - (row + 1) * b
+    if shift >= 0:
+        return (identifier >> shift) & ((1 << b) - 1)
+    return identifier & ((1 << (ID_BITS - row * b)) - 1)
+
+
+def shared_prefix_length(a: int, b_id: int, b: int) -> int:
+    """Number of leading base-2^b digits shared by two identifiers."""
+    if a == b_id:
+        return n_rows(b)
+    xor = a ^ b_id
+    # Position of the highest differing bit, counted from the MSB.
+    high_bit = ID_BITS - xor.bit_length()
+    return high_bit // b
+
+
+def ring_distance(a: int, b_id: int) -> int:
+    """Shortest distance around the ring (used for root determination)."""
+    d = (a - b_id) % ID_SPACE
+    return min(d, ID_SPACE - d)
+
+
+def clockwise_distance(a: int, b_id: int) -> int:
+    """Distance travelling clockwise (increasing ids) from ``a`` to ``b_id``."""
+    return (b_id - a) % ID_SPACE
+
+
+def counter_clockwise_distance(a: int, b_id: int) -> int:
+    """Distance travelling counter-clockwise from ``a`` to ``b_id``."""
+    return (a - b_id) % ID_SPACE
+
+
+def is_closer_root(candidate: int, incumbent: int, key: int) -> bool:
+    """Whether ``candidate`` is a strictly better root for ``key``.
+
+    Ties in ring distance are broken towards the numerically smaller
+    identifier so every node resolves the same root.
+    """
+    dc, di = ring_distance(candidate, key), ring_distance(incumbent, key)
+    if dc != di:
+        return dc < di
+    return candidate < incumbent

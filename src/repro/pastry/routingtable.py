@@ -1,0 +1,110 @@
+"""Pastry routing table: 128/b rows × 2^b columns of prefix-matched entries.
+
+The entry at (row r, column c) holds a node whose id shares the first r
+digits with the owner and has digit c at position r.  When proximity
+neighbour selection is enabled, a slot prefers the entry with the smallest
+network proximity among eligible candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.pastry.nodeid import NodeDescriptor, digit, n_rows, shared_prefix_length
+
+
+class RoutingTable:
+    def __init__(self, owner: NodeDescriptor, b: int) -> None:
+        self.owner = owner
+        self.b = b
+        self.rows = n_rows(b)
+        self.cols = 1 << b
+        self._slots: Dict[Tuple[int, int], NodeDescriptor] = {}
+        self._slot_of: Dict[int, Tuple[int, int]] = {}  # node id -> (row, col)
+
+    # ------------------------------------------------------------------
+    def slot_for(self, node_id: int) -> Optional[Tuple[int, int]]:
+        """The (row, col) where ``node_id`` belongs, or None for the owner."""
+        if node_id == self.owner.id:
+            return None
+        row = shared_prefix_length(node_id, self.owner.id, self.b)
+        return row, digit(node_id, row, self.b)
+
+    def get(self, row: int, col: int) -> Optional[NodeDescriptor]:
+        return self._slots.get((row, col))
+
+    def entry_for(self, node_id: int) -> Optional[NodeDescriptor]:
+        slot = self._slot_of.get(node_id)
+        return self._slots[slot] if slot is not None else None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def entries(self) -> List[NodeDescriptor]:
+        return list(self._slots.values())
+
+    def row_entries(self, row: int) -> List[NodeDescriptor]:
+        return [d for (r, _c), d in self._slots.items() if r == row]
+
+    def occupied_rows(self) -> List[int]:
+        return sorted({r for (r, _c) in self._slots})
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        desc: NodeDescriptor,
+        proximity: Optional[Callable[[NodeDescriptor], float]] = None,
+    ) -> bool:
+        """Consider ``desc`` for its slot.
+
+        Empty slots are always filled.  An occupied slot is replaced only
+        when a ``proximity`` function is supplied and the candidate is
+        strictly closer (proximity neighbour selection).  Returns True when
+        the table changed.
+        """
+        slot = self.slot_for(desc.id)
+        if slot is None:
+            return False
+        current = self._slots.get(slot)
+        if current is not None and current.id == desc.id:
+            if current.addr != desc.addr:  # rejoined under a new address
+                self._slots[slot] = desc
+                return True
+            return False
+        if current is None:
+            self._install(slot, desc)
+            return True
+        if proximity is not None and proximity(desc) < proximity(current):
+            del self._slot_of[current.id]
+            self._install(slot, desc)
+            return True
+        return False
+
+    def add_all(
+        self,
+        descs: Iterable[NodeDescriptor],
+        proximity: Optional[Callable[[NodeDescriptor], float]] = None,
+    ) -> int:
+        return sum(1 for d in descs if self.add(d, proximity))
+
+    def _install(self, slot: Tuple[int, int], desc: NodeDescriptor) -> None:
+        self._slots[slot] = desc
+        self._slot_of[desc.id] = slot
+
+    def remove(self, node_id: int) -> bool:
+        slot = self._slot_of.pop(node_id, None)
+        if slot is None:
+            return False
+        del self._slots[slot]
+        return True
+
+    # ------------------------------------------------------------------
+    def next_hop(self, key: int) -> Optional[NodeDescriptor]:
+        """Primary routing step: the entry matching one more digit of ``key``."""
+        row = shared_prefix_length(key, self.owner.id, self.b)
+        if row >= self.rows:
+            return None  # key == owner id
+        return self._slots.get((row, digit(key, row, self.b)))

@@ -1,0 +1,97 @@
+"""Per-destination retransmission timers (paper §3.2).
+
+Timeouts are estimated as in TCP (Karn & Partridge / Jacobson: smoothed RTT
+plus a variance term, exponential backoff on retransmission) but set more
+aggressively than TCP because Pastry can reroute around an unresponsive next
+hop instead of waiting for it.  MSPastry seeds estimators from proximity
+measurements when available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class RttEstimator:
+    """Jacobson-style smoothed RTT with an aggressive multiplier."""
+
+    __slots__ = ("srtt", "rttvar", "rto_min", "rto_max", "variance_weight")
+
+    def __init__(
+        self,
+        initial_rto: float,
+        rto_min: float,
+        rto_max: float,
+        variance_weight: float = 2.0,
+    ) -> None:
+        self.srtt = None
+        self.rttvar = initial_rto / (1.0 + variance_weight)
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.variance_weight = variance_weight
+
+    def seed(self, rtt: float) -> None:
+        """Initialise from an out-of-band measurement (distance probe)."""
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+
+    def sample(self, rtt: float) -> None:
+        """Fold in a measured round-trip time (Karn rule: acked first try only)."""
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += 0.125 * err
+            self.rttvar += 0.25 * (abs(err) - self.rttvar)
+
+    @property
+    def rto(self) -> float:
+        if self.srtt is None:
+            base = self.rttvar * (1.0 + self.variance_weight)
+        else:
+            base = self.srtt + self.variance_weight * self.rttvar
+        return min(self.rto_max, max(self.rto_min, base))
+
+
+class RtoTable:
+    """Per-destination-address RTT estimators with bounded size."""
+
+    def __init__(
+        self,
+        initial_rto: float = 0.5,
+        rto_min: float = 0.05,
+        rto_max: float = 6.0,
+        max_entries: int = 512,
+        variance_weight: float = 2.0,
+    ) -> None:
+        self.initial_rto = initial_rto
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.max_entries = max_entries
+        self.variance_weight = variance_weight
+        self._table: Dict[int, RttEstimator] = {}
+
+    def _get(self, addr: int) -> RttEstimator:
+        est = self._table.get(addr)
+        if est is None:
+            if len(self._table) >= self.max_entries:
+                # Evict the oldest insertion (dicts preserve insertion order).
+                self._table.pop(next(iter(self._table)))
+            est = RttEstimator(
+                self.initial_rto, self.rto_min, self.rto_max,
+                variance_weight=self.variance_weight,
+            )
+            self._table[addr] = est
+        return est
+
+    def rto(self, addr: int) -> float:
+        est = self._table.get(addr)
+        return est.rto if est is not None else self.initial_rto
+
+    def sample(self, addr: int, rtt: float) -> None:
+        self._get(addr).sample(rtt)
+
+    def seed(self, addr: int, rtt: float) -> None:
+        self._get(addr).seed(rtt)

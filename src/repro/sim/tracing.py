@@ -1,0 +1,102 @@
+"""Protocol message tracing: a debugging instrument for simulations.
+
+Attach a :class:`MessageTracer` to a :class:`~repro.network.transport.Network`
+to record (or stream) every message send with simulated timestamps, with
+filtering by message type, endpoint, and time window.  The tracer stacks on
+top of whatever stats hook is already installed.
+
+Example::
+
+    tracer = MessageTracer(network, types=("LsProbe", "Heartbeat"))
+    ...run...
+    print(tracer.format_log(limit=50))
+    tracer.detach()
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    src: int
+    dst: int
+    type_name: str
+    category: str
+
+
+class MessageTracer:
+    def __init__(
+        self,
+        network,
+        types: Optional[Iterable[str]] = None,
+        endpoints: Optional[Iterable[int]] = None,
+        max_records: int = 100_000,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.network = network
+        self.types = set(types) if types is not None else None
+        self.endpoints = set(endpoints) if endpoints is not None else None
+        self.max_records = max_records
+        self.sink = sink
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._inner_stats = network.stats
+        network.stats = self
+
+    # ------------------------------------------------------------------
+    def on_send(self, msg, src: int, dst: int, now: float) -> None:
+        if self._inner_stats is not None:
+            self._inner_stats.on_send(msg, src, dst, now)
+        type_name = type(msg).__name__
+        if self.types is not None and type_name not in self.types:
+            return
+        if self.endpoints is not None and not (
+            src in self.endpoints or dst in self.endpoints
+        ):
+            return
+        record = TraceRecord(
+            time=now, src=src, dst=dst, type_name=type_name,
+            category=getattr(msg, "category", "unknown"),
+        )
+        if self.sink is not None:
+            self.sink(record)
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def detach(self) -> None:
+        """Restore the network's previous stats hook."""
+        if self.network.stats is self:
+            self.network.stats = self._inner_stats
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def count_by_type(self) -> Counter:
+        return Counter(r.type_name for r in self.records)
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        return [r for r in self.records if start <= r.time < end]
+
+    def conversations(self) -> Counter:
+        """Message counts per unordered endpoint pair."""
+        return Counter(
+            (min(r.src, r.dst), max(r.src, r.dst)) for r in self.records
+        )
+
+    def format_log(self, limit: int = 100) -> str:
+        lines = [
+            f"{r.time:12.6f}  {r.src:>5} -> {r.dst:<5}  {r.type_name}"
+            for r in self.records[:limit]
+        ]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        if self.dropped:
+            lines.append(f"[{self.dropped} records dropped at cap]")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Trace persistence: save/load churn traces as plain text.
+
+Users with *real* measured traces (the paper's Gnutella/OverNet/Microsoft
+logs, or their own) can feed them to the harness through this format, one
+event per line::
+
+    # name: gnutella
+    # duration: 216000.0
+    0.000000 17 arrival
+    35.200000 17 failure
+
+Lines starting with ``#`` are metadata/comments.  Events may appear in any
+order; loading sorts them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.traces.events import ARRIVAL, FAILURE, ChurnTrace, TraceEvent
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def save_trace(trace: ChurnTrace, target: PathOrFile) -> None:
+    """Write a trace in the line-per-event text format."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w") as handle:
+            save_trace(trace, handle)
+        return
+    target.write(f"# name: {trace.name}\n")
+    target.write(f"# duration: {trace.duration!r}\n")
+    for event in trace.events:
+        target.write(f"{event.time:.6f} {event.node} {event.kind}\n")
+
+
+def load_trace(source: PathOrFile) -> ChurnTrace:
+    """Read a trace written by :func:`save_trace` (or hand-made)."""
+    if isinstance(source, (str, Path)):
+        with open(source) as handle:
+            return load_trace(handle)
+    name = "trace"
+    duration = None
+    events = []
+    max_time = 0.0
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("name:"):
+                name = body.split(":", 1)[1].strip()
+            elif body.startswith("duration:"):
+                duration = float(body.split(":", 1)[1].strip())
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"line {line_no}: expected 'time node kind': {line!r}")
+        time_str, node_str, kind = parts
+        if kind not in (ARRIVAL, FAILURE):
+            raise ValueError(f"line {line_no}: unknown event kind {kind!r}")
+        time = float(time_str)
+        if time < 0:
+            raise ValueError(f"line {line_no}: negative time")
+        events.append(TraceEvent(time, int(node_str), kind))
+        max_time = max(max_time, time)
+    if duration is None:
+        duration = max_time
+    return ChurnTrace(name=name, events=events, duration=duration)
+
+
+def dumps(trace: ChurnTrace) -> str:
+    buffer = io.StringIO()
+    save_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> ChurnTrace:
+    return load_trace(io.StringIO(text))

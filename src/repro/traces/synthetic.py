@@ -1,0 +1,65 @@
+"""Artificial Poisson churn traces (paper §5.1).
+
+The paper's artificial traces have Poisson node arrivals and exponentially
+distributed session times, with an average population of 10,000 nodes and
+session times of 5, 15, 30, 60, 120 and 600 minutes.  In steady state the
+arrival rate that sustains a population ``N`` with mean session ``S`` is
+``N / S``.  The initial population is seeded with *residual* session times
+(exponential again, by memorylessness), so the trace starts in steady state
+rather than ramping up.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.traces.events import ARRIVAL, FAILURE, ChurnTrace, TraceEvent
+
+
+def generate_poisson_trace(
+    rng: random.Random,
+    n_nodes: int,
+    mean_session: float,
+    duration: float,
+    name: str = "poisson",
+) -> ChurnTrace:
+    """Generate a steady-state Poisson/exponential churn trace.
+
+    Parameters
+    ----------
+    n_nodes:
+        Target average number of simultaneously active nodes.
+    mean_session:
+        Mean session time in seconds (exponential distribution).
+    duration:
+        Trace length in seconds.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if mean_session <= 0 or duration <= 0:
+        raise ValueError("mean_session and duration must be positive")
+
+    events = []
+    next_node = 0
+
+    def add_session(start: float, session: float) -> None:
+        nonlocal next_node
+        node = next_node
+        next_node += 1
+        events.append(TraceEvent(start, node, ARRIVAL))
+        end = start + session
+        if end <= duration:
+            events.append(TraceEvent(end, node, FAILURE))
+
+    # Initial steady-state population with residual lifetimes.
+    for _ in range(n_nodes):
+        add_session(0.0, rng.expovariate(1.0 / mean_session))
+
+    # Poisson arrivals at the steady-state rate.
+    arrival_rate = n_nodes / mean_session
+    t = rng.expovariate(arrival_rate)
+    while t < duration:
+        add_session(t, rng.expovariate(1.0 / mean_session))
+        t += rng.expovariate(arrival_rate)
+
+    return ChurnTrace(name=name, events=events, duration=duration)

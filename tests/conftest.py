@@ -1,0 +1,19 @@
+"""Shared fixtures for protocol tests."""
+
+import pytest
+
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+
+
+@pytest.fixture(scope="module")
+def small_overlay():
+    """A settled 24-node overlay on a uniform topology (module-cached)."""
+    config = PastryConfig(leaf_set_size=8)
+    sim, net, nodes = build_overlay(24, config=config, seed=101)
+    return sim, net, nodes
+
+
+def fresh_overlay(n, **kwargs):
+    kwargs.setdefault("config", PastryConfig(leaf_set_size=8))
+    return build_overlay(n, **kwargs)

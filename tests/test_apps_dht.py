@@ -1,0 +1,99 @@
+"""Tests for the DHT application."""
+
+import random
+
+import pytest
+
+from repro.apps.dht import Dht, DhtNode, DhtResult
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+from repro.pastry.nodeid import random_nodeid
+
+
+@pytest.fixture(scope="module")
+def dht_overlay():
+    sim, net, nodes = build_overlay(
+        16, config=PastryConfig(leaf_set_size=8), seed=201
+    )
+    dht = Dht(nodes, n_replicas=3)
+    return sim, nodes, dht
+
+
+def test_put_then_get_roundtrip(dht_overlay):
+    sim, nodes, dht = dht_overlay
+    results = []
+    dht[0].put("alpha", "value-1", results.append)
+    sim.run(until=sim.now + 10)
+    assert results and results[0].ok
+    got = []
+    dht[5].get("alpha", got.append)
+    sim.run(until=sim.now + 10)
+    assert got and got[0].ok and got[0].value == "value-1"
+
+
+def test_get_missing_key_fails(dht_overlay):
+    sim, nodes, dht = dht_overlay
+    got = []
+    dht[2].get("never-stored", got.append)
+    sim.run(until=sim.now + 10)
+    assert got and not got[0].ok
+
+
+def test_int_keys_supported(dht_overlay):
+    sim, nodes, dht = dht_overlay
+    key = random_nodeid(random.Random(1))
+    done = []
+    dht[1].put(key, 42, done.append)
+    sim.run(until=sim.now + 10)
+    got = []
+    dht[3].get(key, got.append)
+    sim.run(until=sim.now + 10)
+    assert got[0].ok and got[0].value == 42
+
+
+def test_value_stored_at_root_and_replicas(dht_overlay):
+    sim, nodes, dht = dht_overlay
+    key = dht[0].put("replicated", "v")
+    sim.run(until=sim.now + 10)
+    holders = sum(1 for d in dht.nodes if key in d.store)
+    assert holders >= 2  # root + at least one replica
+
+
+def test_value_survives_root_crash():
+    sim, net, nodes = build_overlay(
+        16, config=PastryConfig(leaf_set_size=8), seed=203
+    )
+    dht = Dht(nodes, n_replicas=4)
+    key = dht[0].put("durable", "v")
+    sim.run(until=sim.now + 10)
+    from repro.pastry.nodeid import ring_distance
+
+    root = min(nodes, key=lambda n: (ring_distance(n.id, key), n.id))
+    root_dht = next(d for d in dht.nodes if d.node is root)
+    assert key in root_dht.store
+    root.crash()
+    sim.run(until=sim.now + 180)  # failure detection + repair
+    alive = [d for d in dht.nodes if not d.node.crashed]
+    requester = alive[0]
+    got = []
+    requester.get(key, got.append)
+    sim.run(until=sim.now + 20)
+    assert got and got[0].ok  # new root is a former replica
+
+
+def test_overwrite_updates_value(dht_overlay):
+    sim, nodes, dht = dht_overlay
+    dht[0].put("mut", "v1")
+    sim.run(until=sim.now + 5)
+    dht[1].put("mut", "v2")
+    sim.run(until=sim.now + 5)
+    got = []
+    dht[2].get("mut", got.append)
+    sim.run(until=sim.now + 10)
+    assert got[0].value == "v2"
+
+
+def test_double_attach_rejected(dht_overlay):
+    _sim, nodes, dht = dht_overlay
+    with pytest.raises(ValueError):
+        DhtNode(nodes[0])  # already wrapped by the fixture's Dht

@@ -1,0 +1,103 @@
+"""Tests for Scribe-style multicast."""
+
+import random
+
+import pytest
+
+from repro.apps.multicast import MulticastNode
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+from repro.pastry.nodeid import random_nodeid
+
+
+@pytest.fixture()
+def multicast():
+    sim, net, nodes = build_overlay(
+        16, config=PastryConfig(leaf_set_size=8), seed=221
+    )
+    layers = [MulticastNode(n) for n in nodes]
+    return sim, nodes, layers
+
+
+def test_publish_reaches_all_subscribers(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(1))
+    received = {i: [] for i in range(5)}
+    for i in range(5):
+        layers[i].subscribe(group, received[i].append)
+    sim.run(until=sim.now + 20)
+    layers[10].publish(group, "hello")
+    sim.run(until=sim.now + 20)
+    for i in range(5):
+        assert received[i] == ["hello"], f"subscriber {i} missed the message"
+
+
+def test_non_subscribers_receive_nothing(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(2))
+    layers[0].subscribe(group)
+    sim.run(until=sim.now + 20)
+    layers[5].publish(group, "msg")
+    sim.run(until=sim.now + 20)
+    assert layers[0].delivered == ["msg"]
+    for layer in layers[1:]:
+        assert layer.delivered == []
+
+
+def test_publisher_not_subscribed_does_not_deliver_locally(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(3))
+    layers[1].subscribe(group)
+    sim.run(until=sim.now + 20)
+    layers[2].publish(group, "x")
+    sim.run(until=sim.now + 20)
+    assert layers[2].delivered == []
+
+
+def test_tree_forms_with_forwarders(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(4))
+    for i in range(8):
+        layers[i].subscribe(group)
+    sim.run(until=sim.now + 30)
+    # Someone must hold forwarding state for the group.
+    forwarders = [layer for layer in layers if layer.children.get(group)]
+    assert forwarders
+    # Total children >= number of distinct subscribers - duplicates allowed
+    total_children = sum(len(layer.children.get(group, {})) for layer in layers)
+    assert total_children >= 7
+
+
+def test_multiple_groups_independent(multicast):
+    sim, nodes, layers = multicast
+    g1 = random_nodeid(random.Random(5))
+    g2 = random_nodeid(random.Random(6))
+    layers[0].subscribe(g1)
+    layers[1].subscribe(g2)
+    sim.run(until=sim.now + 20)
+    layers[2].publish(g1, "one")
+    sim.run(until=sim.now + 20)
+    assert layers[0].delivered == ["one"]
+    assert layers[1].delivered == []
+
+
+def test_unsubscribe_stops_local_delivery(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(7))
+    layers[0].subscribe(group)
+    sim.run(until=sim.now + 20)
+    layers[0].unsubscribe(group)
+    layers[3].publish(group, "late")
+    sim.run(until=sim.now + 20)
+    assert layers[0].delivered == []
+
+
+def test_repeated_publish_sequencing(multicast):
+    sim, nodes, layers = multicast
+    group = random_nodeid(random.Random(8))
+    layers[4].subscribe(group)
+    sim.run(until=sim.now + 20)
+    for i in range(5):
+        layers[9].publish(group, i)
+        sim.run(until=sim.now + 5)
+    assert layers[4].delivered == [0, 1, 2, 3, 4]

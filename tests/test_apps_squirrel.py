@@ -1,0 +1,79 @@
+"""Tests for the Squirrel web cache application."""
+
+import pytest
+
+from repro.apps.squirrel import SquirrelProxy, WebOrigin
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+
+
+@pytest.fixture()
+def squirrel():
+    sim, net, nodes = build_overlay(
+        12, config=PastryConfig(leaf_set_size=8), seed=211
+    )
+    proxies = [SquirrelProxy(n, WebOrigin(fetch_delay=0.2)) for n in nodes]
+    return sim, nodes, proxies
+
+
+def test_first_request_fetches_from_origin(squirrel):
+    sim, nodes, proxies = squirrel
+    done = []
+    proxies[0].request("http://example.com/a", lambda url, cached: done.append(cached))
+    sim.run(until=sim.now + 10)
+    assert done == [False]  # origin fetch
+    assert sum(p.origin_fetches for p in proxies) == 1
+
+
+def test_second_request_hits_overlay_cache(squirrel):
+    sim, nodes, proxies = squirrel
+    proxies[0].request("http://example.com/b")
+    sim.run(until=sim.now + 10)
+    done = []
+    proxies[1].request("http://example.com/b", lambda url, cached: done.append(cached))
+    sim.run(until=sim.now + 10)
+    assert done == [True]  # served by the home node's cache
+    assert sum(p.origin_fetches for p in proxies) == 1
+    assert sum(p.remote_hits for p in proxies) == 1
+
+
+def test_repeat_request_served_locally(squirrel):
+    sim, nodes, proxies = squirrel
+    proxies[3].request("http://example.com/c")
+    sim.run(until=sim.now + 10)
+    before = proxies[3].local_hits
+    done = []
+    proxies[3].request("http://example.com/c", lambda url, cached: done.append(cached))
+    assert done == [True]  # synchronous local hit
+    assert proxies[3].local_hits == before + 1
+
+
+def test_distinct_urls_have_distinct_homes(squirrel):
+    sim, nodes, proxies = squirrel
+    for i in range(20):
+        proxies[i % len(proxies)].request(f"http://example.com/page{i}")
+    sim.run(until=sim.now + 20)
+    holders = sum(1 for p in proxies if len(p.home_cache) > 0)
+    assert holders >= 3  # URLs spread over several home nodes
+
+
+def test_lru_eviction_bounds_cache():
+    sim, net, nodes = build_overlay(
+        8, config=PastryConfig(leaf_set_size=8), seed=213
+    )
+    proxies = [SquirrelProxy(n, local_cache_size=5, home_cache_size=10)
+               for n in nodes]
+    for i in range(30):
+        proxies[0].request(f"http://example.com/{i}")
+        sim.run(until=sim.now + 2)
+    assert len(proxies[0].local_cache) <= 5
+    assert all(len(p.home_cache) <= 10 for p in proxies)
+
+
+def test_stats_accumulate(squirrel):
+    sim, nodes, proxies = squirrel
+    for _ in range(3):
+        proxies[2].request("http://example.com/stats")
+        sim.run(until=sim.now + 5)
+    assert proxies[2].requests == 3
+    assert proxies[2].local_hits == 2

@@ -1,0 +1,111 @@
+"""Tests for PAST-style replicated storage under churn."""
+
+import random
+
+import pytest
+
+from repro.apps.storage import ReplicatingStore
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+from repro.pastry.nodeid import ring_distance
+
+
+def storage_overlay(n=16, seed=801, k=4, period=30.0):
+    sim, net, nodes = build_overlay(
+        n, config=PastryConfig(leaf_set_size=8), seed=seed
+    )
+    stores = [ReplicatingStore(node, replication_factor=k,
+                               maintenance_period=period) for node in nodes]
+    return sim, nodes, stores
+
+
+def holders(stores, key):
+    return [s for s in stores if key in s.objects and not s.node.crashed]
+
+
+def test_insert_replicates_to_k_nodes():
+    sim, nodes, stores = storage_overlay()
+    key = stores[0].insert("obj-1", "payload")
+    sim.run(until=sim.now + 20)
+    assert len(holders(stores, key)) >= 3  # root + replicas
+
+
+def test_fetch_roundtrip():
+    sim, nodes, stores = storage_overlay(seed=803)
+    stores[2].insert("doc", "body")
+    sim.run(until=sim.now + 20)
+    results = []
+    stores[7].fetch("doc", results.append)
+    sim.run(until=sim.now + 20)
+    assert results and results[0].ok and results[0].value == "body"
+
+
+def test_fetch_missing_fails():
+    sim, nodes, stores = storage_overlay(seed=805)
+    results = []
+    stores[1].fetch("ghost", results.append)
+    sim.run(until=sim.now + 20)
+    assert results and not results[0].ok
+
+
+def test_object_survives_entire_replica_set_erosion():
+    """Crash replica holders one at a time; maintenance keeps k copies."""
+    sim, nodes, stores = storage_overlay(n=20, seed=807, k=4, period=30.0)
+    key = stores[0].insert("precious", "data")
+    sim.run(until=sim.now + 40)
+    rng = random.Random(1)
+    for _ in range(3):  # three rounds of targeted destruction
+        holding = holders(stores, key)
+        assert holding, "object lost"
+        victim = rng.choice(holding)
+        victim.node.crash()
+        # detection + repair + one maintenance sweep
+        sim.run(until=sim.now + 200)
+    survivors = [s for s in stores if not s.node.crashed]
+    results = []
+    survivors[0].fetch("precious", results.append)
+    sim.run(until=sim.now + 30)
+    assert results and results[0].ok and results[0].value == "data"
+
+
+def test_new_root_receives_replica_after_join():
+    from repro.pastry.node import MSPastryNode
+    from repro.pastry.nodeid import ID_SPACE
+
+    sim, nodes, stores = storage_overlay(n=12, seed=809, k=3, period=20.0)
+    net = nodes[0].network
+    key = stores[0].insert("migrating", "object")
+    sim.run(until=sim.now + 30)
+    # Join a node whose id is immediately at the key: it becomes the root.
+    config = PastryConfig(leaf_set_size=8)
+    rng = random.Random(2)
+    newcomer = MSPastryNode(sim, net, config, (key + 1) % ID_SPACE, rng)
+    newcomer_store = ReplicatingStore(newcomer, replication_factor=3,
+                                      maintenance_period=20.0)
+    newcomer.join(nodes[0].descriptor)
+    sim.run(until=sim.now + 120)  # join + a few maintenance sweeps
+    assert newcomer.active
+    assert key in newcomer_store.objects  # pushed by the old replicas
+
+
+def test_out_of_range_copies_eventually_dropped():
+    sim, nodes, stores = storage_overlay(n=16, seed=811, k=2, period=15.0)
+    key = stores[0].insert("tight", "copy")
+    sim.run(until=sim.now + 120)
+    # With k=2 only the two closest nodes should hold it after sweeps.
+    holding = holders(stores, key)
+    ordered = sorted(
+        (s for s in stores if not s.node.crashed),
+        key=lambda s: (ring_distance(s.node.id, key), s.node.id),
+    )
+    expected = {s.node.id for s in ordered[:2]}
+    assert {h.node.id for h in holding} <= expected | {ordered[2].node.id}
+    assert len(holding) >= 1
+
+
+def test_double_attach_rejected():
+    sim, nodes, stores = storage_overlay(seed=813)
+    with pytest.raises(ValueError):
+        ReplicatingStore(nodes[0])
+    for store in stores:
+        store.stop()

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig3", "fig6", "topologies", "ablation", "fig8", "design"):
+        assert name in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_fig3_small(capsys):
+    assert main(["run", "fig3", "--scale", "0.02", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "gnutella" in out
+    assert "finished in" in out
+
+
+def test_scale_flag_maps_to_trace_scale(capsys):
+    # fig6 exposes trace_scale rather than scale; the CLI must map it.
+    assert main([
+        "run", "fig6", "--scale", "0.012", "--duration", "400", "--seed", "5",
+    ]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

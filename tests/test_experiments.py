@@ -1,0 +1,120 @@
+"""Smoke tests for the experiment modules (tiny scales).
+
+The benchmarks run each experiment at reporting scale; these tests only
+verify that every experiment module runs end-to-end, returns the documented
+structure, and formats a report.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig3_failure_rates,
+    fig5_sessions,
+    fig6_loss,
+    fig7_params,
+    fig8_squirrel,
+    selftuning,
+    topologies,
+)
+from repro.experiments.reporting import downsample, format_series, format_table
+from repro.experiments.scenarios import Scenario, make_topology
+from repro.sim.rng import RngStreams
+
+
+def test_make_topology_names():
+    streams = RngStreams(1)
+    for name in ("gatech", "mercator", "corpnet"):
+        topology = make_topology(name, RngStreams(1), scale=0.1)
+        assert topology is not None
+    with pytest.raises(ValueError):
+        make_topology("nonsense", streams)
+
+
+def test_scenario_runs_gnutella():
+    result = Scenario(seed=5, topology_scale=0.15).run_gnutella(
+        scale=0.015, duration=600.0
+    )
+    assert result.trace_name == "gnutella"
+    assert result.stats.n_lookups > 0
+
+
+def test_fig3_structure():
+    result = fig3_failure_rates.run(seed=1, scale=0.02, microsoft_scale=0.002)
+    assert set(result["series"]) == {"gnutella", "overnet", "microsoft"}
+    for summary in result["summary"].values():
+        assert summary["mean"] >= 0.0
+    report = fig3_failure_rates.format_report(result)
+    assert "gnutella" in report
+
+
+def test_topologies_structure():
+    result = topologies.run(seed=2, trace_scale=0.012, duration=600.0)
+    assert set(result["rows"]) == {"corpnet", "gatech", "mercator"}
+    report = topologies.format_report(result)
+    assert "paper-RDP" in report
+
+
+def test_fig5_structure():
+    result = fig5_sessions.run(
+        seed=3, n_nodes=25, duration=400.0, session_minutes=(30, 60)
+    )
+    assert set(result["rows"]) == {30, 60}
+    assert fig5_sessions.format_report(result)
+
+
+def test_fig6_structure():
+    result = fig6_loss.run(
+        seed=4, trace_scale=0.012, duration=500.0, loss_rates=(0.0, 0.05)
+    )
+    assert set(result["rows"]) == {0.0, 0.05}
+    assert fig6_loss.format_report(result)
+
+
+def test_fig7_structure():
+    result = fig7_params.run(
+        seed=5, trace_scale=0.012, duration=500.0,
+        leaf_sizes=(8, 16), b_values=(2, 4),
+    )
+    assert set(result["l"]) == {8, 16}
+    assert set(result["b"]) == {2, 4}
+    assert fig7_params.format_report(result)
+
+
+def test_ablation_structure():
+    result = ablation.run(seed=6, trace_scale=0.012, duration=600.0)
+    assert set(result["rows"]) == {"neither", "acks-only", "probing-only", "both"}
+    assert ablation.format_report(result)
+
+
+def test_selftuning_structure():
+    result = selftuning.run(seed=7, trace_scale=0.012, duration=600.0)
+    assert set(result["rows"]) == {0.05, 0.01}
+    assert selftuning.format_report(result)
+
+
+def test_fig8_structure():
+    result = fig8_squirrel.run(seed=8, n_machines=12, n_days=1,
+                               stats_window=3600.0, peak_request_rate=0.005)
+    assert result["simulator"]
+    assert result["deployment"]
+    assert -1.0 <= result["correlation"] <= 1.0
+    assert fig8_squirrel.format_report(result)
+
+
+# ----------------------------------------------------------------------
+# Reporting helpers
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [(1, 2.5), ("xx", 3e-7)])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "3.00e-07" in table
+
+
+def test_format_series_and_downsample():
+    series = [(float(i) * 3600, float(i)) for i in range(100)]
+    thin = downsample(series, max_points=10)
+    assert len(thin) == 10
+    rendered = format_series("x", thin)
+    assert rendered.startswith("x")

@@ -1,0 +1,46 @@
+"""Smoke tests for the paper-scale presets (run tiny, verify plumbing)."""
+
+import pytest
+
+from repro.experiments.full_scale import (
+    TOPOLOGIES,
+    TRACES,
+    build_full_run,
+    estimated_cost,
+)
+
+
+def test_presets_cover_the_paper():
+    assert set(TRACES) == {"gnutella", "overnet", "microsoft"}
+    assert set(TOPOLOGIES) == {"gatech", "mercator", "corpnet"}
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(ValueError):
+        build_full_run("kazaa")
+    with pytest.raises(ValueError):
+        build_full_run("gnutella", topology_name="flat-earth")
+
+
+def test_tiny_override_runs_end_to_end():
+    runner, trace = build_full_run(
+        "gnutella", seed=5, scale=0.01, duration=600.0
+    )
+    assert trace.duration == 600.0
+    result = runner.run(trace)
+    assert result.stats.n_lookups > 0
+    assert result.loss_rate < 0.05
+    assert result.incorrect_delivery_rate < 0.05
+
+
+def test_full_scale_trace_has_paper_population():
+    # Generate (but do not simulate) a short full-scale Gnutella slice.
+    _runner, trace = build_full_run("gnutella", duration=3600.0)
+    initial = len(trace.initial_nodes())
+    assert 1500 <= initial <= 2600  # paper: 1,300..2,700 active
+
+
+def test_estimated_cost_mentions_magnitude():
+    _runner, trace = build_full_run("gnutella", scale=0.05, duration=3600.0)
+    text = estimated_cost(trace)
+    assert "events" in text and "wall clock" in text

@@ -1,0 +1,73 @@
+"""Tests for the overlay health auditor."""
+
+from repro.network.simple import EuclideanTopology
+from repro.overlay.health import (
+    audit_pns_quality,
+    audit_ring,
+    audit_staleness,
+    audit_table_fill,
+    format_health,
+)
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+
+
+def overlay(seed=1201, n=16, topology=None):
+    return build_overlay(n, config=PastryConfig(leaf_set_size=8), seed=seed,
+                         topology=topology)
+
+
+def test_fresh_overlay_is_healthy():
+    sim, _net, nodes = overlay()
+    ring = audit_ring(nodes)
+    assert ring.closed
+    assert ring.n_live == 16
+    staleness = audit_staleness(nodes)
+    assert staleness.leaf_staleness == 0.0
+    assert staleness.rt_staleness == 0.0
+
+
+def test_broken_link_detected():
+    sim, _net, nodes = overlay(seed=1203)
+    ordered = sorted(nodes, key=lambda n: n.id)
+    node = ordered[0]
+    successor = ordered[1]
+    node.leaf_set.remove(successor.id)
+    ring = audit_ring(nodes)
+    assert not ring.closed
+    assert (node, successor) in ring.broken_links
+    node.leaf_set.add(successor.descriptor)  # restore
+
+
+def test_staleness_counts_dead_entries():
+    sim, _net, nodes = overlay(seed=1205)
+    victim = nodes[5]
+    victim.crash()
+    staleness = audit_staleness(nodes)  # immediately: no repair yet
+    assert staleness.stale_leaf_entries > 0
+    sim.run(until=sim.now + 300)
+    healed = audit_staleness(nodes)
+    assert healed.stale_leaf_entries < staleness.stale_leaf_entries
+
+
+def test_table_fill_reasonable():
+    sim, _net, nodes = overlay(seed=1207)
+    fill = audit_table_fill(nodes)
+    assert len(fill.per_node) == 16
+    assert fill.mean_fill > 0.5  # joins + announcements fill most slots
+
+
+def test_pns_quality_on_euclidean():
+    topology = EuclideanTopology(side=1.0, delay_per_unit=0.1)
+    sim, _net, nodes = overlay(seed=1209, n=24, topology=topology)
+    quality = audit_pns_quality(nodes, topology)
+    if quality is not None:
+        assert quality < 6.0  # near the per-slot optimum on average
+
+
+def test_format_health_summary():
+    topology = EuclideanTopology()
+    sim, _net, nodes = overlay(seed=1211, topology=topology)
+    text = format_health(nodes, topology)
+    assert "ring closed: True" in text
+    assert "leaf staleness: 0.0%" in text

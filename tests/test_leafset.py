@@ -1,0 +1,217 @@
+"""Unit and property tests for the leaf set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pastry.leafset import LeafSet
+from repro.pastry.nodeid import (
+    ID_SPACE,
+    NodeDescriptor,
+    clockwise_distance,
+    counter_clockwise_distance,
+    ring_distance,
+)
+
+ids = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+def desc(i: int) -> NodeDescriptor:
+    return NodeDescriptor(id=i, addr=i % 100000)
+
+
+def make(owner_id=1000, size=8):
+    return LeafSet(desc(owner_id), size)
+
+
+def test_rejects_odd_or_tiny_size():
+    with pytest.raises(ValueError):
+        LeafSet(desc(1), 3)
+    with pytest.raises(ValueError):
+        LeafSet(desc(1), 0)
+
+
+def test_owner_never_added():
+    ls = make()
+    assert not ls.add(desc(1000))
+    assert len(ls) == 0
+
+
+def test_add_and_sides():
+    ls = make(owner_id=1000, size=4)
+    for i in (900, 950, 1050, 1100):
+        assert ls.add(desc(i))
+    assert [d.id for d in ls.left_side] == [950, 900]
+    assert [d.id for d in ls.right_side] == [1050, 1100]
+    assert ls.leftmost.id == 900
+    assert ls.rightmost.id == 1100
+    assert ls.left_neighbour.id == 950
+    assert ls.right_neighbour.id == 1050
+
+
+def test_prunes_to_closest_per_side():
+    ls = make(owner_id=1000, size=4)
+    for i in (100, 200, 900, 950, 1050, 1100, 1500, 1600):
+        ls.add(desc(i))
+    member_ids = {d.id for d in ls.members()}
+    assert member_ids == {900, 950, 1050, 1100}
+
+
+def test_small_set_wraps_members_on_both_sides():
+    ls = make(owner_id=1000, size=8)
+    ls.add(desc(2000))
+    ls.add(desc(3000))
+    # Fewer than l members: each appears in both sides.
+    assert {d.id for d in ls.left_side} == {2000, 3000}
+    assert {d.id for d in ls.right_side} == {2000, 3000}
+    assert ls.wrapped()
+    assert ls.complete
+
+
+def test_empty_set_incomplete_but_covers_everything():
+    ls = make()
+    assert not ls.complete
+    assert ls.covers(0)
+    assert ls.covers(123456)
+
+
+def test_full_disjoint_sides_complete():
+    ls = make(owner_id=1 << 127, size=4)
+    base = 1 << 127
+    for delta in (-2000, -1000, 1000, 2000):
+        ls.add(desc(base + delta))
+    assert ls.complete
+    assert not ls.wrapped()
+
+
+def test_losing_a_member_makes_set_wrapped():
+    # Fewer than l members always overlaps by pigeonhole: the set cannot
+    # distinguish a small ring from one it is repairing in.
+    ls = make(owner_id=1000, size=4)
+    for i in (900, 950, 1050, 1100):
+        ls.add(desc(i))
+    assert not ls.wrapped()
+    ls.remove(900)
+    assert ls.wrapped()
+    assert ls.complete  # treated as ring-covering until refilled
+
+
+def test_version_bumps_on_change_only():
+    ls = make(owner_id=1000, size=4)
+    v0 = ls.version
+    ls.add(desc(900))
+    assert ls.version == v0 + 1
+    ls.add(desc(900))  # no change
+    assert ls.version == v0 + 1
+    ls.remove(900)
+    assert ls.version == v0 + 2
+    ls.remove(900)  # already gone
+    assert ls.version == v0 + 2
+
+
+def test_covers_arc_through_owner():
+    ls = make(owner_id=1000, size=4)
+    for i in (800, 900, 1100, 1200):
+        ls.add(desc(i))
+    assert ls.covers(1000)
+    assert ls.covers(850)
+    assert ls.covers(1200)
+    assert ls.covers(800)
+    assert not ls.covers(5000)
+    assert not ls.covers(ID_SPACE - 5)
+
+
+def test_covers_everything_when_wrapped():
+    ls = make(owner_id=1000, size=8)
+    ls.add(desc(5000))
+    assert ls.covers(0)
+    assert ls.covers(ID_SPACE // 2)
+
+
+def test_closest_to_prefers_minimal_ring_distance():
+    ls = make(owner_id=1000, size=4)
+    for i in (800, 900, 1100, 1200):
+        ls.add(desc(i))
+    assert ls.closest_to(1150).id == 1100
+    assert ls.closest_to(1001).id == 1000  # owner
+    assert ls.closest_to(810).id == 800
+
+
+def test_remove():
+    ls = make(owner_id=1000, size=4)
+    ls.add(desc(900))
+    assert ls.remove(900)
+    assert not ls.remove(900)
+    assert len(ls) == 0
+
+
+def test_get_and_contains():
+    ls = make(owner_id=1000, size=4)
+    ls.add(desc(900))
+    assert 900 in ls
+    assert ls.get(900).id == 900
+    assert ls.get(901) is None
+
+
+def test_would_admit_full_sides():
+    ls = make(owner_id=1000, size=4)
+    for i in (900, 950, 1050, 1100):
+        ls.add(desc(i))
+    assert ls.would_admit(desc(975))  # closer than leftmost
+    assert ls.would_admit(desc(1025))  # closer than rightmost on right
+    assert not ls.would_admit(desc(500))  # farther than both extremes
+    assert not ls.would_admit(desc(1050))  # already a member
+    assert not ls.would_admit(desc(1000))  # owner
+
+
+def test_would_admit_when_not_full():
+    ls = make(owner_id=1000, size=8)
+    ls.add(desc(900))
+    assert ls.would_admit(desc(123))
+
+
+def test_add_updates_changed_address():
+    ls = make(owner_id=1000, size=4)
+    ls.add(NodeDescriptor(id=900, addr=5))
+    ls.add(NodeDescriptor(id=900, addr=9))  # rejoined elsewhere
+    assert ls.get(900).addr == 9
+    assert len(ls) == 1
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(ids, st.lists(ids, min_size=0, max_size=40), st.sampled_from([4, 8, 16]))
+def test_members_are_per_side_closest(owner_id, others, size):
+    ls = LeafSet(desc(owner_id), size)
+    unique = {i for i in others if i != owner_id}
+    for i in unique:
+        ls.add(desc(i))
+    half = size // 2
+    cw_sorted = sorted(unique, key=lambda i: clockwise_distance(owner_id, i))
+    ccw_sorted = sorted(unique, key=lambda i: counter_clockwise_distance(owner_id, i))
+    assert [d.id for d in ls.right_side] == cw_sorted[:half]
+    assert [d.id for d in ls.left_side] == ccw_sorted[:half]
+
+
+@given(ids, st.lists(ids, min_size=1, max_size=40), ids)
+def test_closest_to_is_global_minimum(owner_id, others, key):
+    ls = LeafSet(desc(owner_id), 8)
+    for i in others:
+        ls.add(desc(i))
+    candidates = [owner_id] + [d.id for d in ls.members()]
+    best = ls.closest_to(key).id
+    assert ring_distance(best, key) == min(ring_distance(c, key) for c in candidates)
+
+
+@given(ids, st.lists(ids, min_size=0, max_size=40))
+def test_would_admit_matches_add(owner_id, others):
+    ls = LeafSet(desc(owner_id), 8)
+    unique = list({i for i in others if i != owner_id})
+    probe_ids, grow_ids = unique[: len(unique) // 2], unique[len(unique) // 2:]
+    for i in grow_ids:
+        ls.add(desc(i))
+    for i in probe_ids:
+        predicted = ls.would_admit(desc(i))
+        actual = ls.add(desc(i))
+        assert predicted == actual

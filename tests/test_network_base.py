@@ -1,0 +1,83 @@
+"""Unit tests for the router-graph topology base class."""
+
+import random
+
+import pytest
+
+from repro.network.base import RouterGraphTopology
+
+
+class LineTopology(RouterGraphTopology):
+    """Five routers in a line with unit link delays (analytically known)."""
+
+    def __init__(self, lan_delay=0.001):
+        super().__init__(lan_delay=lan_delay)
+        rows = [0, 1, 2, 3]
+        cols = [1, 2, 3, 4]
+        self._set_graph(5, rows, cols, [1.0, 1.0, 1.0, 1.0])
+
+
+def test_router_delay_shortest_path():
+    topo = LineTopology()
+    assert topo.router_delay(0, 4) == pytest.approx(4.0)
+    assert topo.router_delay(1, 3) == pytest.approx(2.0)
+    assert topo.router_delay(2, 2) == 0.0
+
+
+def test_router_delay_symmetric():
+    topo = LineTopology()
+    for a in range(5):
+        for b in range(5):
+            assert topo.router_delay(a, b) == pytest.approx(
+                topo.router_delay(b, a)
+            )
+
+
+def test_end_node_delay_includes_two_lans():
+    topo = LineTopology(lan_delay=0.5)
+    rng = random.Random(1)
+    attachments = [topo.attach(rng) for _ in range(20)]
+    a = next(x for x in attachments if topo.router_of(x) == topo.router_of(attachments[0]))
+    b = next(
+        (x for x in attachments if topo.router_of(x) != topo.router_of(a)),
+        None,
+    )
+    if b is not None:
+        expected = topo.router_delay(topo.router_of(a), topo.router_of(b)) + 1.0
+        assert topo.delay(a, b) == pytest.approx(expected)
+
+
+def test_same_attachment_zero_delay():
+    topo = LineTopology()
+    a = topo.attach(random.Random(2))
+    assert topo.delay(a, a) == 0.0
+
+
+def test_colocated_end_nodes_still_cross_lan():
+    topo = LineTopology(lan_delay=0.25)
+    rng = random.Random(3)
+    pairs = [topo.attach(rng) for _ in range(30)]
+    a = pairs[0]
+    twin = next(
+        (x for x in pairs[1:] if topo.router_of(x) == topo.router_of(a)), None
+    )
+    if twin is not None:
+        assert topo.delay(a, twin) == pytest.approx(0.5)  # two LAN hops
+
+
+def test_proximity_default_is_rtt():
+    topo = LineTopology()
+    rng = random.Random(4)
+    a, b = topo.attach(rng), topo.attach(rng)
+    assert topo.proximity(a, b) == pytest.approx(2 * topo.delay(a, b))
+
+
+def test_distance_rows_cached():
+    topo = LineTopology()
+    rng = random.Random(5)
+    a, b = topo.attach(rng), topo.attach(rng)
+    topo.delay(a, b)
+    assert topo.router_of(a) in topo._dist_cache
+    cached = topo._dist_cache[topo.router_of(a)]
+    assert topo.delay(a, b) >= 0.0  # second call served from cache
+    assert topo._dist_cache[topo.router_of(a)] is cached

@@ -1,0 +1,110 @@
+"""Property-based protocol tests: random churn schedules never break the
+paper's invariants.
+
+hypothesis generates small churn schedules (who joins/crashes when); after
+the dust settles we assert the three invariants the paper's §3 argues for:
+the surviving ring is closed, routing is consistent against a brute-force
+oracle, and no crashed node lingers as a leaf-set member forever.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.simple import UniformDelayTopology
+from repro.network.transport import Network
+from repro.pastry.config import PastryConfig
+from repro.pastry.node import MSPastryNode
+from repro.pastry.nodeid import random_nodeid, ring_distance
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+# Schedule: list of (action, delay) — action: join (True) or crash (False).
+schedules = st.lists(
+    st.tuples(st.booleans(), st.floats(min_value=0.5, max_value=20.0)),
+    min_size=3,
+    max_size=12,
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=schedules, seed=st.integers(0, 2**16))
+def test_random_churn_schedule_preserves_invariants(schedule, seed):
+    streams = RngStreams(seed)
+    sim = Simulator()
+    network = Network(sim, UniformDelayTopology(0.04), streams.stream("net"))
+    rng = streams.stream("nodes")
+    config = PastryConfig(leaf_set_size=8, nearest_neighbour_join=False)
+
+    nodes = []
+    bootstrap = MSPastryNode(sim, network, config, random_nodeid(rng), rng)
+    bootstrap.join(None)
+    nodes.append(bootstrap)
+    # a few founding members so crashes have something to bite
+    for _ in range(5):
+        node = MSPastryNode(sim, network, config, random_nodeid(rng), rng)
+        node.join(bootstrap.descriptor)
+        nodes.append(node)
+        sim.run(until=sim.now + 10)
+
+    churn_rng = random.Random(seed ^ 0xBEEF)
+    for is_join, delay in schedule:
+        sim.run(until=sim.now + delay)
+        alive = [n for n in nodes if not n.crashed]
+        active = [n for n in alive if n.active]
+        if is_join or len(alive) <= 3:
+            node = MSPastryNode(sim, network, config, random_nodeid(rng), rng)
+            seed_node = churn_rng.choice(active) if active else None
+            node.join(seed_node.descriptor if seed_node else None,
+                      seed_provider=lambda: _fresh_seed(nodes, churn_rng))
+            nodes.append(node)
+        else:
+            churn_rng.choice(alive).crash()
+
+    # Let failure detection, probing and repair fully settle.
+    sim.run(until=sim.now + 1200)
+
+    survivors = sorted(
+        (n for n in nodes if not n.crashed and n.active), key=lambda n: n.id
+    )
+    assert survivors, "the overlay died entirely"
+
+    # Invariant 1: the ring is closed.
+    if len(survivors) > 1:
+        for i, node in enumerate(survivors):
+            right = survivors[(i + 1) % len(survivors)]
+            assert right.id in node.leaf_set, "broken successor link"
+
+    # Invariant 2: routing is consistent (delivery at the true root).
+    delivered = []
+    for node in nodes:
+        node.on_deliver = lambda n, msg: delivered.append((n, msg))
+    lookup_rng = random.Random(seed ^ 0xF00D)
+    issued = 0
+    for _ in range(10):
+        src = lookup_rng.choice(survivors)
+        src.lookup(random_nodeid(lookup_rng))
+        issued += 1
+    sim.run(until=sim.now + 60)
+    assert len(delivered) == issued, "lookup lost"
+    for node, msg in delivered:
+        true_root = min(
+            survivors, key=lambda n: (ring_distance(n.id, msg.key), n.id)
+        )
+        assert node.id == true_root.id, "inconsistent delivery"
+
+    # Invariant 3: no crashed node lingers in a survivor's leaf set.
+    crashed_ids = {n.id for n in nodes if n.crashed}
+    for node in survivors:
+        lingering = crashed_ids & {d.id for d in node.leaf_set.members()}
+        assert not lingering, "dead member still in a leaf set"
+
+
+def _fresh_seed(nodes, rng):
+    active = [n for n in nodes if not n.crashed and n.active]
+    return rng.choice(active).descriptor if active else None

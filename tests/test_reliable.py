@@ -1,0 +1,112 @@
+"""Tests for end-to-end acknowledged lookups."""
+
+import random
+
+import pytest
+
+from repro.overlay.reliable import ReliableLookups
+from repro.overlay.utils import build_overlay
+from repro.pastry.config import PastryConfig
+from repro.pastry.nodeid import random_nodeid, ring_distance
+
+
+def overlay(seed=601, **cfg):
+    config = PastryConfig(leaf_set_size=8, **cfg)
+    sim, net, nodes = build_overlay(12, config=config, seed=seed)
+    layers = [ReliableLookups(n, timeout=5.0, max_retries=3) for n in nodes]
+    return sim, net, nodes, layers
+
+
+def test_reliable_lookup_acks_back():
+    sim, _net, nodes, layers = overlay()
+    rng = random.Random(1)
+    outcomes = []
+    key = random_nodeid(rng)
+    layers[0].lookup(key, payload="hello",
+                     callback=lambda ok, who: outcomes.append((ok, who)))
+    sim.run(until=sim.now + 20)
+    assert outcomes and outcomes[0][0] is True
+    root = min(nodes, key=lambda n: (ring_distance(n.id, key), n.id))
+    assert outcomes[0][1].id == root.id
+    root_layer = next(l for l in layers if l.node is root)
+    assert "hello" in root_layer.delivered_payloads
+
+
+def test_reliable_retransmits_when_e2e_ack_lost():
+    sim, net, nodes, layers = overlay(seed=603)
+    rng = random.Random(2)
+    src_layer = layers[0]
+    key = random_nodeid(rng)
+    root = min(nodes, key=lambda n: (ring_distance(n.id, key), n.id))
+
+    # Swallow the first e2e ack sent back to the source.
+    from repro.pastry.messages import AppDirect
+
+    orig_send = net.send
+    swallowed = []
+
+    def lossy(s, d, msg):
+        if (
+            not swallowed
+            and isinstance(msg, AppDirect)
+            and d == src_layer.node.addr
+        ):
+            swallowed.append(msg)
+            return
+        orig_send(s, d, msg)
+
+    net.send = lossy
+    outcomes = []
+    src_layer.lookup(key, callback=lambda ok, who: outcomes.append(ok))
+    sim.run(until=sim.now + 60)
+    net.send = orig_send
+    assert swallowed  # the first ack really was lost
+    assert outcomes == [True]  # recovered by the e2e retransmission
+    assert src_layer.retransmissions >= 1
+
+
+def test_reliable_gives_up_after_max_retries():
+    sim, _net, nodes, layers = overlay(seed=605)
+    # Crash everyone but the source: nothing can ack.
+    src_layer = layers[3]
+    for node in nodes:
+        if node is not src_layer.node:
+            node.crash()
+    rng = random.Random(3)
+    # Key owned by a crashed node from the source's perspective; but with
+    # everyone dead the source eventually delivers locally and self-acks,
+    # so instead crash the source's ability: detach by crashing it too and
+    # check the timeout path via a plain unreachable setup.
+    outcomes = []
+    # A fresh (never-activating) layer: lookups buffered, never delivered.
+    from repro.pastry.node import MSPastryNode
+    from repro.pastry.nodeid import random_nodeid as rid
+
+    sim2, net2, nodes2 = build_overlay(1, config=PastryConfig(leaf_set_size=8),
+                                       seed=607)
+    joiner = MSPastryNode(sim2, net2, PastryConfig(leaf_set_size=8),
+                          rid(rng), rng)
+    dead_seed = MSPastryNode(sim2, net2, PastryConfig(leaf_set_size=8),
+                             rid(rng), rng)
+    dead_seed.crash()
+    joiner.join(dead_seed.descriptor)  # never becomes active
+    layer = ReliableLookups(joiner, timeout=2.0, max_retries=2)
+    layer.lookup(rid(rng), callback=lambda ok, who: outcomes.append(ok))
+    sim2.run(until=sim2.now + 60)
+    assert outcomes == [False]
+
+
+def test_duplicate_acks_ignored():
+    sim, _net, nodes, layers = overlay(seed=609)
+    rng = random.Random(4)
+    outcomes = []
+    layers[1].lookup(random_nodeid(rng),
+                     callback=lambda ok, who: outcomes.append(ok))
+    sim.run(until=sim.now + 30)
+    assert outcomes == [True]  # exactly one callback despite any duplicates
+
+
+def test_double_attach_rejected():
+    sim, _net, nodes, layers = overlay(seed=611)
+    with pytest.raises(ValueError):
+        ReliableLookups(nodes[0])

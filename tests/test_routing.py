@@ -1,0 +1,142 @@
+"""Protocol tests: overlay routing correctness (paper Figure 2, routei)."""
+
+import random
+
+from repro.pastry.nodeid import random_nodeid, ring_distance
+
+
+def true_root(nodes, key):
+    return min(
+        (n for n in nodes if n.active and not n.crashed),
+        key=lambda n: (ring_distance(n.id, key), n.id),
+    )
+
+
+def run_lookups(sim, nodes, n_lookups, seed=1):
+    rng = random.Random(seed)
+    delivered = []
+    for node in nodes:
+        node.on_deliver = lambda n, msg: delivered.append((n, msg))
+    expected = []
+    for _ in range(n_lookups):
+        src = rng.choice([n for n in nodes if n.active])
+        key = random_nodeid(rng)
+        expected.append((src.lookup(key), key))
+    sim.run(until=sim.now + 30)
+    return delivered, expected
+
+
+def test_all_lookups_reach_true_root(small_overlay):
+    sim, _net, nodes = small_overlay
+    delivered, expected = run_lookups(sim, nodes, 60)
+    assert len(delivered) == len(expected)
+    for node, msg in delivered:
+        assert node.id == true_root(nodes, msg.key).id
+
+
+def test_lookup_to_own_key_delivered_locally(small_overlay):
+    sim, _net, nodes = small_overlay
+    node = nodes[0]
+    delivered = []
+    node.on_deliver = lambda n, msg: delivered.append(msg)
+    node.lookup(node.id)
+    assert len(delivered) == 1  # synchronous local delivery
+
+
+def test_hop_count_logarithmic(small_overlay):
+    sim, _net, nodes = small_overlay
+    delivered, _ = run_lookups(sim, nodes, 80, seed=2)
+    hops = [msg.hops for _n, msg in delivered]
+    avg = sum(hops) / len(hops)
+    # 24 nodes, b=4: expected ~ (15/16) * log16(24) ~ 1.1; allow margin
+    assert avg < 4.0
+
+
+def test_route_around_suspected_node(small_overlay):
+    sim, _net, nodes = small_overlay
+    rng = random.Random(3)
+    key = random_nodeid(rng)
+    root = true_root(nodes, key)
+    src = next(n for n in nodes if n.id != root.id)
+    # Suspect every node: delivery is deferred (a closer-but-suspected node
+    # exists), then — the suspicions never resolving — delivered locally
+    # once the deferral budget is exhausted.
+    delivered = []
+    for node in nodes:
+        node.on_deliver = lambda n, msg: delivered.append((n, msg))
+    for other in nodes:
+        if other.id != src.id:
+            src.suspected.add(other.id)
+    src.lookup(key)
+    deferred_initially = delivered == []
+    sim.run(until=sim.now + 10)
+    for other in nodes:  # clean the shared fixture before asserting
+        src.suspected.discard(other.id)
+    delivered_now = list(delivered)
+    sim.run(until=sim.now + 5)
+    assert deferred_initially
+    # The deferral probes the suspected blocker, the (alive) blocker
+    # answers, the suspicion lifts, and the message reaches the true root.
+    assert delivered_now and delivered_now[0][0].id == root.id
+
+
+def test_exclusion_reroutes_to_alternative(small_overlay):
+    sim, _net, nodes = small_overlay
+    rng = random.Random(4)
+    key = random_nodeid(rng)
+    root = true_root(nodes, key)
+    src = next(n for n in nodes if n.id != root.id)
+    first_hop = src._next_hop(key, frozenset())
+    assert first_hop is not None
+    alt = src._next_hop(key, frozenset({first_hop.id}))
+    if alt is not None:
+        assert alt.id != first_hop.id
+        # the alternative still makes progress
+        assert ring_distance(alt.id, key) < ring_distance(src.id, key) or (
+            src.leaf_set.covers(key)
+        )
+
+
+def test_next_hop_never_returns_failed(small_overlay):
+    _sim, _net, nodes = small_overlay
+    rng = random.Random(5)
+    src = nodes[0]
+    key = random_nodeid(rng)
+    hop = src._next_hop(key, frozenset())
+    if hop is not None:
+        src.failed[hop.id] = hop
+        second = src._next_hop(key, frozenset())
+        assert second is None or second.id != hop.id
+        del src.failed[hop.id]
+
+
+def test_lookup_without_acks_flag(small_overlay):
+    sim, _net, nodes = small_overlay
+    delivered = []
+    for node in nodes:
+        node.on_deliver = lambda n, msg: delivered.append(msg)
+    rng = random.Random(6)
+    src = nodes[3]
+    msg = src.lookup(random_nodeid(rng), wants_acks=False)
+    sim.run(until=sim.now + 10)
+    assert any(d.msg_id == msg.msg_id for d in delivered)
+    assert src.acks.in_flight == 0  # nothing tracked
+
+
+def test_prefix_routing_monotone_progress(small_overlay):
+    """Each forwarding step increases prefix match or reduces distance."""
+    from repro.pastry.nodeid import shared_prefix_length
+
+    _sim, _net, nodes = small_overlay
+    rng = random.Random(7)
+    for _ in range(30):
+        key = random_nodeid(rng)
+        node = rng.choice(nodes)
+        hop = node._next_hop(key, frozenset())
+        if hop is None:
+            continue
+        better_prefix = shared_prefix_length(hop.id, key, 4) > shared_prefix_length(
+            node.id, key, 4
+        )
+        closer = ring_distance(hop.id, key) < ring_distance(node.id, key)
+        assert better_prefix or closer

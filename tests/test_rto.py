@@ -1,0 +1,82 @@
+"""Unit tests for TCP-style RTT estimation and per-destination RTO tables."""
+
+from repro.pastry.rto import RtoTable, RttEstimator
+
+
+def make_estimator(**kwargs):
+    defaults = dict(initial_rto=0.5, rto_min=0.05, rto_max=6.0)
+    defaults.update(kwargs)
+    return RttEstimator(**defaults)
+
+
+def test_initial_rto_matches_configured():
+    est = make_estimator()
+    assert abs(est.rto - 0.5) < 1e-9
+
+
+def test_first_sample_initialises_srtt():
+    est = make_estimator()
+    est.sample(0.2)
+    assert est.srtt == 0.2
+    assert est.rttvar == 0.1
+    assert est.rto == 0.2 + 2.0 * 0.1
+
+
+def test_steady_rtt_converges_to_tight_rto():
+    est = make_estimator()
+    for _ in range(100):
+        est.sample(0.1)
+    assert est.srtt is not None
+    assert abs(est.srtt - 0.1) < 1e-3
+    assert est.rto < 0.15  # variance decays; aggressive timer
+
+
+def test_variance_spike_raises_rto():
+    est = make_estimator()
+    for _ in range(50):
+        est.sample(0.1)
+    calm = est.rto
+    est.sample(1.0)
+    assert est.rto > calm
+
+
+def test_rto_clamped_to_bounds():
+    est = make_estimator(rto_min=0.2)
+    for _ in range(200):
+        est.sample(0.0001)
+    assert est.rto == 0.2
+    est2 = make_estimator(rto_max=1.0)
+    est2.sample(30.0)
+    assert est2.rto == 1.0
+
+
+def test_seed_only_applies_when_unset():
+    est = make_estimator()
+    est.seed(0.3)
+    assert est.srtt == 0.3
+    est.seed(0.9)
+    assert est.srtt == 0.3  # second seed ignored
+
+
+def test_table_default_and_sampled():
+    table = RtoTable(initial_rto=0.5, rto_min=0.05, rto_max=6.0)
+    assert table.rto(1) == 0.5  # unknown destination
+    table.sample(1, 0.1)
+    assert table.rto(1) < 0.5
+    assert table.rto(2) == 0.5  # other destinations unaffected
+
+
+def test_table_seed():
+    table = RtoTable()
+    table.seed(5, 0.2)
+    assert table.rto(5) < table.initial_rto + 1e-9
+
+
+def test_table_eviction_bounds_size():
+    table = RtoTable(max_entries=4)
+    for addr in range(10):
+        table.sample(addr, 0.1)
+    assert len(table._table) <= 4
+    # Oldest entries evicted; newest retained.
+    assert 9 in table._table
+    assert 0 not in table._table

@@ -1,0 +1,91 @@
+"""Integration tests: the full trace-driven experiment runner."""
+
+import pytest
+
+from repro.network.simple import UniformDelayTopology
+from repro.network.transit_stub import TransitStubTopology
+from repro.overlay.runner import OverlayRunner
+from repro.pastry.config import PastryConfig
+from repro.sim.rng import RngStreams
+from repro.traces.synthetic import generate_poisson_trace
+
+
+def run_small(seed=7, loss_rate=0.0, n=60, session=1800.0, duration=900.0, **cfg):
+    streams = RngStreams(seed)
+    config = PastryConfig(leaf_set_size=16, **cfg)
+    topology = UniformDelayTopology(0.04)
+    runner = OverlayRunner(
+        config, topology, streams, loss_rate=loss_rate, stats_window=300.0
+    )
+    trace = generate_poisson_trace(streams.stream("trace"), n, session, duration)
+    return runner, runner.run(trace)
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    return run_small()
+
+
+def test_no_losses_or_inconsistencies_without_link_loss(churn_run):
+    _runner, result = churn_run
+    assert result.stats.n_lookups > 100
+    assert result.loss_rate == 0.0
+    assert result.incorrect_delivery_rate == 0.0
+
+
+def test_population_maintained(churn_run):
+    _runner, result = churn_run
+    assert result.final_active == pytest.approx(60, abs=25)
+
+
+def test_join_latencies_recorded(churn_run):
+    _runner, result = churn_run
+    assert result.stats.join_latencies
+    assert all(0 < latency < 80 for latency in result.stats.join_latencies)
+
+
+def test_control_traffic_positive_and_sane(churn_run):
+    _runner, result = churn_run
+    assert 0.01 < result.control_traffic < 10.0
+
+
+def test_rdp_at_least_one(churn_run):
+    _runner, result = churn_run
+    assert result.rdp >= 1.0
+
+
+def test_oracle_matches_node_flags(churn_run):
+    runner, _result = churn_run
+    flagged = {
+        n.id for n in runner._trace_nodes.values() if n.active and not n.crashed
+    }
+    oracle_ids = set(runner.oracle._by_id)
+    assert flagged == oracle_ids
+
+
+def test_deterministic_given_seed():
+    _r1, res1 = run_small(seed=21, duration=600.0, n=40)
+    _r2, res2 = run_small(seed=21, duration=600.0, n=40)
+    assert res1.stats.n_lookups == res2.stats.n_lookups
+    assert res1.rdp == res2.rdp
+    assert res1.control_traffic == res2.control_traffic
+
+
+def test_link_loss_still_dependable():
+    _runner, result = run_small(seed=23, loss_rate=0.05, duration=900.0, n=50)
+    # Paper Fig 6: loss ~3e-5 and incorrect ~1.6e-5 at 5% network loss; at
+    # our scale both should stay very small.
+    assert result.loss_rate < 0.01
+    assert result.incorrect_delivery_rate < 0.01
+
+
+def test_rdp_on_transit_stub_reasonable():
+    streams = RngStreams(29)
+    topology = TransitStubTopology.scaled(streams.stream("topology"), scale=0.25)
+    runner = OverlayRunner(
+        PastryConfig(leaf_set_size=16), topology, streams, stats_window=300.0
+    )
+    trace = generate_poisson_trace(streams.stream("trace"), 60, 3600.0, 900.0)
+    result = runner.run(trace)
+    assert 1.0 <= result.rdp < 5.0
+    assert result.loss_rate == 0.0

@@ -1,0 +1,43 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RngStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_deterministic_across_instances():
+    a = RngStreams(99).stream("workload")
+    b = RngStreams(99).stream("workload")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(1)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_master_seeds_differ():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_spawn_creates_independent_child():
+    parent = RngStreams(7)
+    child1 = parent.spawn("node-1")
+    child2 = parent.spawn("node-2")
+    assert child1.master_seed != child2.master_seed
+    # children deterministic too
+    again = RngStreams(7).spawn("node-1")
+    assert again.master_seed == child1.master_seed
+
+
+def test_derive_seed_stable():
+    streams = RngStreams(42)
+    assert streams.derive_seed("abc") == streams.derive_seed("abc")
+    assert streams.derive_seed("abc") != streams.derive_seed("abd")

@@ -1,0 +1,151 @@
+"""Tests for the network topology models."""
+
+import random
+
+import pytest
+
+from repro.network.corpnet import CorpNetTopology
+from repro.network.hierarchical_as import HierarchicalASTopology
+from repro.network.simple import EuclideanTopology, UniformDelayTopology
+from repro.network.transit_stub import TransitStubTopology
+
+
+def attach_n(topology, n, seed=1):
+    rng = random.Random(seed)
+    return [topology.attach(rng) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Shared behaviours
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["uniform", "euclidean", "transit", "mercator", "corpnet"])
+def topology(request):
+    rng = random.Random(7)
+    if request.param == "uniform":
+        return UniformDelayTopology(0.05)
+    if request.param == "euclidean":
+        return EuclideanTopology()
+    if request.param == "transit":
+        return TransitStubTopology.scaled(rng, scale=0.2)
+    if request.param == "mercator":
+        return HierarchicalASTopology(rng, n_as=16, routers_per_as=5)
+    return CorpNetTopology(rng, n_sites=4, routers_per_site=10)
+
+
+def test_self_delay_zero(topology):
+    nodes = attach_n(topology, 5)
+    for a in nodes:
+        assert topology.delay(a, a) == 0.0
+
+
+def test_delay_positive_and_symmetric(topology):
+    nodes = attach_n(topology, 10)
+    for a in nodes:
+        for b in nodes:
+            if a == b:
+                continue
+            assert topology.delay(a, b) > 0.0
+            assert topology.delay(a, b) == pytest.approx(topology.delay(b, a))
+
+
+def test_proximity_consistent_with_delay_order(topology):
+    nodes = attach_n(topology, 8)
+    a = nodes[0]
+    by_delay = sorted(nodes[1:], key=lambda x: topology.delay(a, x))
+    by_prox = sorted(nodes[1:], key=lambda x: topology.proximity(a, x))
+    assert by_delay == by_prox
+
+
+# ----------------------------------------------------------------------
+# Transit-stub specifics
+# ----------------------------------------------------------------------
+def test_transit_stub_full_scale_router_count():
+    topo = TransitStubTopology(random.Random(1))
+    # Paper: 5050 routers (10 transit domains x ~5 routers, ~10 stubs of ~10).
+    assert 3500 < topo.n_routers < 7000
+
+
+def test_transit_stub_end_nodes_attach_to_stub_routers():
+    rng = random.Random(2)
+    topo = TransitStubTopology.scaled(rng, scale=0.2)
+    stub_set = set(topo._stub_routers)
+    for attachment in attach_n(topo, 20):
+        assert topo.router_of(attachment) in stub_set
+
+
+def test_transit_stub_local_cluster_is_closer():
+    # Nodes on the same stub router should be much closer than the
+    # network-wide average (hierarchical locality).
+    rng = random.Random(3)
+    topo = TransitStubTopology.scaled(rng, scale=0.3)
+    a = topo.attach(rng)
+    b = topo.attach(rng)
+    while topo.router_of(b) != topo.router_of(a):
+        b = topo.attach(rng)
+    rng2 = random.Random(4)
+    others = [topo.attach(rng2) for _ in range(30)]
+    avg = sum(topo.delay(a, o) for o in others if o != a) / len(others)
+    assert topo.delay(a, b) < avg / 3
+
+
+# ----------------------------------------------------------------------
+# Mercator specifics
+# ----------------------------------------------------------------------
+def test_mercator_proximity_is_integral_hops():
+    rng = random.Random(5)
+    topo = HierarchicalASTopology(rng, n_as=16, routers_per_as=6)
+    nodes = attach_n(topo, 10)
+    for a in nodes[:5]:
+        for b in nodes[5:]:
+            prox = topo.proximity(a, b)
+            assert prox == int(prox)
+            assert prox >= 2  # at least the two access links
+
+
+def test_mercator_triangle_violation_possible_but_routes_connected():
+    # Hierarchical routing must produce finite hop counts for all pairs.
+    rng = random.Random(6)
+    topo = HierarchicalASTopology(rng, n_as=20, routers_per_as=4)
+    nodes = attach_n(topo, 15)
+    for a in nodes:
+        for b in nodes:
+            assert topo.delay(a, b) < 10.0  # finite and sane
+
+
+def test_mercator_same_as_shorter_than_cross_as():
+    rng = random.Random(8)
+    topo = HierarchicalASTopology(rng, n_as=24, routers_per_as=8)
+    r_same = None
+    # find two routers in the same AS and two in different ASes
+    same = topo._as_members[0][:2]
+    cross = (topo._as_members[0][0], topo._as_members[12][0])
+    assert topo.router_hops(same[0], same[1]) <= topo.router_hops(*cross)
+
+
+def test_mercator_hops_cache_consistency():
+    rng = random.Random(9)
+    topo = HierarchicalASTopology(rng, n_as=12, routers_per_as=5)
+    nodes = attach_n(topo, 6)
+    first = [[topo.hops(a, b) for b in nodes] for a in nodes]
+    second = [[topo.hops(a, b) for b in nodes] for a in nodes]
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# CorpNet specifics
+# ----------------------------------------------------------------------
+def test_corpnet_intra_site_much_closer_than_inter_site():
+    rng = random.Random(10)
+    topo = CorpNetTopology(rng, n_sites=4, routers_per_site=20)
+    # End nodes on the same router: essentially LAN distance.
+    a = topo.attach(rng)
+    nodes = attach_n(topo, 40, seed=11)
+    delays = sorted(topo.delay(a, b) for b in nodes if b != a)
+    assert delays[0] < 0.02  # someone nearby
+    assert delays[-1] > 0.02  # someone across the backbone
+
+
+def test_corpnet_router_count_close_to_paper():
+    rng = random.Random(12)
+    topo = CorpNetTopology(rng)
+    assert 200 < topo.n_routers < 400  # paper: 298 routers

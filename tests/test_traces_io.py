@@ -1,0 +1,75 @@
+"""Tests for trace save/load."""
+
+import random
+
+import pytest
+
+from repro.traces.events import ARRIVAL, FAILURE, ChurnTrace, TraceEvent
+from repro.traces.io import dumps, load_trace, loads, save_trace
+from repro.traces.synthetic import generate_poisson_trace
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    trace = generate_poisson_trace(random.Random(1), 50, 600.0, 1800.0,
+                                   name="roundtrip")
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == "roundtrip"
+    assert loaded.duration == trace.duration
+    assert len(loaded) == len(trace)
+    for a, b in zip(trace.events, loaded.events):
+        assert a.node == b.node and a.kind == b.kind
+        assert a.time == pytest.approx(b.time, abs=1e-6)
+
+
+def test_string_roundtrip():
+    trace = ChurnTrace(
+        name="mini",
+        events=[TraceEvent(0.0, 1, ARRIVAL), TraceEvent(5.5, 1, FAILURE)],
+        duration=10.0,
+    )
+    assert loads(dumps(trace)).events == trace.events
+
+
+def test_loads_unsorted_events():
+    text = "3.0 2 arrival\n1.0 1 arrival\n"
+    trace = loads(text)
+    assert [e.time for e in trace.events] == [1.0, 3.0]
+    assert trace.duration == 3.0  # inferred from the last event
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# a comment\n\n1.0 1 arrival\n# another\n"
+    assert len(loads(text)) == 1
+
+
+def test_malformed_lines_rejected():
+    with pytest.raises(ValueError):
+        loads("1.0 1\n")
+    with pytest.raises(ValueError):
+        loads("1.0 1 vanish\n")
+    with pytest.raises(ValueError):
+        loads("-2.0 1 arrival\n")
+
+
+def test_loaded_trace_runs_in_harness(tmp_path):
+    """A saved trace drives the full experiment runner."""
+    from repro.network.simple import UniformDelayTopology
+    from repro.overlay.runner import OverlayRunner
+    from repro.pastry.config import PastryConfig
+    from repro.sim.rng import RngStreams
+
+    trace = generate_poisson_trace(random.Random(2), 30, 1200.0, 600.0)
+    path = tmp_path / "churn.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    runner = OverlayRunner(
+        PastryConfig(leaf_set_size=8),
+        UniformDelayTopology(0.03),
+        RngStreams(9),
+        stats_window=300.0,
+    )
+    result = runner.run(loaded)
+    assert result.stats.n_lookups > 0
+    assert result.loss_rate < 0.05

@@ -1,0 +1,75 @@
+"""Tests for the synthetic Squirrel deployment trace (paper Fig 8)."""
+
+import random
+
+from repro.traces.realworld import DAY, HOUR
+from repro.traces.squirrel import generate_squirrel_trace
+
+
+def make(seed=1, **kwargs):
+    return generate_squirrel_trace(random.Random(seed), **kwargs)
+
+
+def test_duration_and_structure():
+    trace = make(n_days=6)
+    assert trace.duration == 6 * DAY
+    assert len(trace.churn.events) > 0
+    assert len(trace.lookups) > 0
+
+
+def test_lookups_sorted_and_in_range():
+    trace = make()
+    times = [t for t, _, _ in trace.lookups]
+    assert times == sorted(times)
+    assert all(0 <= t <= trace.duration for t in times)
+
+
+def test_workday_requests_dominate():
+    trace = make(seed=2)
+    work, off = 0, 0
+    for t, _node, _url in trace.lookups:
+        hour = (t % DAY) / HOUR
+        day = int(t // DAY)
+        weekend = day in (2, 3)
+        if not weekend and 9.0 <= hour <= 17.5:
+            work += 1
+        else:
+            off += 1
+    assert work > 3 * off
+
+
+def test_weekend_quieter_than_weekdays():
+    trace = make(seed=3)
+    weekday_counts = [0] * 6
+    for t, _n, _u in trace.lookups:
+        weekday_counts[int(t // DAY)] += 1
+    weekend = weekday_counts[2] + weekday_counts[3]
+    busiest = max(weekday_counts)
+    assert weekend < busiest
+
+
+def test_population_bounded_by_machine_count():
+    trace = make(n_machines=30)
+    active = 0
+    peak = 0
+    for event in trace.churn.events:
+        active += 1 if event.kind == "arrival" else -1
+        peak = max(peak, active)
+        assert active >= 0
+    assert 0 < peak <= 30
+
+
+def test_url_popularity_is_skewed():
+    from collections import Counter
+
+    trace = make(seed=4, n_urls=500)
+    counts = Counter(u for _t, _n, u in trace.lookups)
+    top_10 = sum(c for _u, c in counts.most_common(10))
+    assert top_10 > 0.15 * len(trace.lookups)  # Zipf head
+
+
+def test_deterministic():
+    a = make(seed=7)
+    b = make(seed=7)
+    assert a.lookups[:20] == b.lookups[:20]
+    assert len(a.churn.events) == len(b.churn.events)

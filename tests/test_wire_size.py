@@ -1,0 +1,104 @@
+"""Tests for the message wire-size model and bandwidth accounting."""
+
+import pytest
+
+from repro.metrics.collector import StatsCollector
+from repro.pastry import messages as m
+from repro.pastry.messages import DESCRIPTOR_BYTES, HEADER_BYTES, wire_size
+from repro.pastry.nodeid import NodeDescriptor
+
+
+def desc(i):
+    return NodeDescriptor(id=i, addr=i)
+
+
+def test_bare_message_is_header_sized():
+    assert wire_size(m.Ack(msg_id=1)) == HEADER_BYTES + 8
+
+
+def test_sender_adds_descriptor():
+    bare = wire_size(m.Heartbeat())
+    with_sender = wire_size(m.Heartbeat(sender=desc(1)))
+    assert with_sender == bare + DESCRIPTOR_BYTES
+
+
+def test_tuning_hint_adds_eight_bytes():
+    bare = wire_size(m.Heartbeat(sender=desc(1)))
+    hinted = wire_size(m.Heartbeat(sender=desc(1), tuning_hint=12.0))
+    assert hinted == bare + 8
+
+
+def test_ls_probe_scales_with_leaf_set():
+    small = wire_size(m.LsProbe(sender=desc(1), leaf_set=[desc(2)]))
+    big = wire_size(
+        m.LsProbe(sender=desc(1), leaf_set=[desc(i) for i in range(2, 18)])
+    )
+    assert big == small + 15 * DESCRIPTOR_BYTES
+
+
+def test_join_reply_counts_rows_and_leafset():
+    reply = m.JoinReply(
+        sender=desc(1),
+        rows={0: [desc(2), desc(3)], 1: [desc(4)]},
+        leaf_set=[desc(5), desc(6)],
+    )
+    expected = HEADER_BYTES + DESCRIPTOR_BYTES + 5 * DESCRIPTOR_BYTES
+    assert wire_size(reply) == expected
+
+
+def test_lookup_has_key_and_source_overhead():
+    lookup = m.Lookup(sender=desc(1), msg_id=7, key=9, source=desc(2))
+    assert wire_size(lookup) == HEADER_BYTES + DESCRIPTOR_BYTES + 16 + 8 + DESCRIPTOR_BYTES
+
+
+def test_every_message_type_has_positive_size():
+    samples = [
+        m.JoinRequest(joiner=desc(1)),
+        m.JoinReply(),
+        m.LsProbe(),
+        m.LsProbeReply(),
+        m.Heartbeat(),
+        m.RtProbe(),
+        m.RtProbeReply(),
+        m.DistanceProbe(),
+        m.DistanceProbeReply(),
+        m.DistanceReport(rtt=0.1),
+        m.RowAnnounce(),
+        m.RowRequest(),
+        m.RowReply(),
+        m.SlotRequest(),
+        m.SlotReply(entry=desc(1)),
+        m.LeafSetRequest(),
+        m.LeafSetReply(),
+        m.Lookup(source=desc(1)),
+        m.Ack(),
+        m.StateRequest(),
+        m.StateReply(),
+        m.AppDirect(),
+    ]
+    for sample in samples:
+        assert wire_size(sample) >= HEADER_BYTES, type(sample).__name__
+
+
+def test_collector_bandwidth_accounting():
+    stats = StatsCollector(window=10.0)
+    stats.active.count = 2
+    heartbeat = m.Heartbeat(sender=desc(1))
+    lookup = m.Lookup(sender=desc(1), msg_id=1, key=2, source=desc(1))
+    stats.on_send(heartbeat, 1, 2, 1.0)
+    stats.on_send(lookup, 1, 2, 2.0)
+    stats.finish(10.0)
+    node_seconds = 20.0
+    assert stats.control_bandwidth() == pytest.approx(
+        wire_size(heartbeat) / node_seconds
+    )
+    assert stats.total_bandwidth() == pytest.approx(
+        (wire_size(heartbeat) + wire_size(lookup)) / node_seconds
+    )
+
+
+def test_bandwidth_zero_without_activity():
+    stats = StatsCollector()
+    stats.finish(10.0)
+    assert stats.control_bandwidth() == 0.0
+    assert stats.total_bandwidth() == 0.0
