@@ -8,11 +8,9 @@ workload and reports hit rates and bandwidth saved.
 Run:  python examples/squirrel_cache.py
 """
 
-import random
 
 from repro.apps.squirrel import SquirrelProxy, WebOrigin
 from repro.network.corpnet import CorpNetTopology
-from repro.network.transport import Network
 from repro.overlay.utils import build_overlay
 from repro.pastry import PastryConfig
 from repro.sim.rng import RngStreams

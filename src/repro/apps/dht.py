@@ -11,7 +11,7 @@ Operations complete through callbacks carrying a :class:`DhtResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.apps.common import chain_callback

@@ -10,8 +10,8 @@ messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.apps.common import chain_callback
 from repro.pastry.messages import AppDirect, Lookup

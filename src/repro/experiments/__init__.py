@@ -18,12 +18,14 @@ fig7_params          Fig 7: effect of leaf-set size l and digit size b
 ablation             §5.3 "Active probing and per-hop acks" ablation
 selftuning           §5.3 self-tuning: target Lr vs achieved loss/cost
 fig8_squirrel        Fig 8: Squirrel deployment traffic validation
+faults               beyond the paper: partitions, bursty loss, gray nodes
 ===================  =====================================================
 """
 
 from repro.experiments import (  # noqa: F401
     ablation,
     design_ablations,
+    faults,
     fig3_failure_rates,
     fig4_traces,
     fig5_sessions,
@@ -45,4 +47,5 @@ ALL_EXPERIMENTS = {
     "selftuning": selftuning,
     "fig8": fig8_squirrel,
     "design": design_ablations,
+    "faults": faults,
 }

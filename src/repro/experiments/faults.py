@@ -1,0 +1,191 @@
+"""Adversarial fault scenarios: partitions, bursty loss, gray failures.
+
+Beyond the paper's uniform-loss sweep (Fig 6), these scenarios stress the
+regimes where consistent-routing guarantees are actually earned:
+
+* **partition/heal** — half the population is cut away mid-run, then the
+  cut heals; the runtime invariant checker (ring closure, leaf-set
+  mutuality, no dead routing state) tracks the damage and reports how long
+  the ring takes to re-merge,
+* **burst-loss sweep** — per-link Gilbert–Elliott bursty loss compared
+  against uniform loss *at equal average loss rates*: equal averages, very
+  different dependability,
+* **gray-failure mix** — a slice of the population goes slow, lossy on
+  the way out, or fully receive-only ("stuck") for an interval, then
+  recovers; the overlay must expel the liars and readmit them afterwards.
+
+Every scenario reports incorrect-delivery rate, lookup loss, the peak and
+final standing-violation counts, and post-fault reconvergence time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import Scenario
+from repro.faults import (
+    BurstLoss,
+    FaultEvent,
+    FaultSchedule,
+    GEParams,
+    GrayFailure,
+    GrayFailures,
+    Partition,
+)
+
+INVARIANT_PERIOD = 30.0
+BURST_RATES = (0.01, 0.03, 0.05)
+
+
+def _metrics(result, reconverge_after: Optional[float] = None) -> Dict:
+    stats = result.stats
+    row = {
+        "loss": result.loss_rate,
+        "incorrect": result.incorrect_delivery_rate,
+        "rdp_median": result.rdp_median,
+        "control": result.control_traffic,
+        "lookups": stats.n_lookups,
+        "max_violations": stats.max_violations(),
+        "standing_violations": stats.standing_violations(),
+        "fault_drops": sum(result.extras.get("fault_drops", {}).values()),
+    }
+    if reconverge_after is not None:
+        row["reconvergence"] = stats.reconvergence_time(reconverge_after)
+    return row
+
+
+def run_partition_heal(
+    seed: int = 42,
+    trace_scale: float = 0.04,
+    duration: float = 2400.0,
+    start: float = 600.0,
+    length: float = 300.0,
+    fraction: float = 0.5,
+) -> Dict:
+    schedule = FaultSchedule(
+        [FaultEvent(Partition(fraction=fraction), start=start, duration=length)]
+    )
+    scenario = Scenario(
+        seed=seed, fault_schedule=schedule, invariant_period=INVARIANT_PERIOD
+    )
+    result = scenario.run_gnutella(scale=trace_scale, duration=duration)
+    return _metrics(result, reconverge_after=start + length)
+
+
+def run_burst_sweep(
+    seed: int = 42,
+    trace_scale: float = 0.04,
+    duration: float = 2400.0,
+    rates=BURST_RATES,
+) -> Dict:
+    """Uniform vs Gilbert–Elliott loss at equal average rates."""
+    rows: Dict[str, Dict] = {}
+    for rate in rates:
+        uniform = Scenario(
+            seed=seed, loss_rate=rate, invariant_period=INVARIANT_PERIOD
+        ).run_gnutella(scale=trace_scale, duration=duration)
+        rows[f"uniform-{rate:.0%}"] = _metrics(uniform)
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    BurstLoss(GEParams.with_average(rate)),
+                    start=0.0,
+                    duration=duration,
+                )
+            ]
+        )
+        bursty = Scenario(
+            seed=seed, fault_schedule=schedule, invariant_period=INVARIANT_PERIOD
+        ).run_gnutella(scale=trace_scale, duration=duration)
+        rows[f"bursty-{rate:.0%}"] = _metrics(bursty)
+    return rows
+
+
+def run_gray_mix(
+    seed: int = 42,
+    trace_scale: float = 0.04,
+    duration: float = 2400.0,
+    start: float = 600.0,
+    length: float = 300.0,
+) -> Dict:
+    """Slow + out-lossy + stuck nodes strike together, then recover."""
+    schedule = FaultSchedule(
+        [
+            FaultEvent(
+                GrayFailures(fraction=0.10, profile=GrayFailure.slow(factor=5.0)),
+                start=start,
+                duration=length,
+            ),
+            FaultEvent(
+                GrayFailures(fraction=0.05, profile=GrayFailure.lossy(0.5)),
+                start=start,
+                duration=length,
+            ),
+            FaultEvent(
+                GrayFailures(fraction=0.05, profile=GrayFailure.stuck()),
+                start=start,
+                duration=length,
+            ),
+        ]
+    )
+    scenario = Scenario(
+        seed=seed, fault_schedule=schedule, invariant_period=INVARIANT_PERIOD
+    )
+    result = scenario.run_gnutella(scale=trace_scale, duration=duration)
+    return _metrics(result, reconverge_after=start + length)
+
+
+def run(
+    seed: int = 42,
+    trace_scale: float = 0.04,
+    duration: float = 2400.0,
+    burst_rates=BURST_RATES,
+) -> Dict:
+    return {
+        "partition": run_partition_heal(seed, trace_scale, duration),
+        "burst": run_burst_sweep(seed, trace_scale, duration, rates=burst_rates),
+        "gray": run_gray_mix(seed, trace_scale, duration),
+    }
+
+
+def _fmt_reconv(value) -> str:
+    return "never" if value is None else f"{value:.0f}s"
+
+
+def format_report(result: Dict) -> str:
+    parts = ["Fault injection — partitions, bursty loss, gray failures"]
+
+    part = result["partition"]
+    parts.append("\n1. partition/heal (half the population cut, then healed)")
+    parts.append(format_table(
+        ["lookup loss", "incorrect", "RDP-med", "max viol", "standing",
+         "reconvergence"],
+        [(part["loss"], part["incorrect"], part["rdp_median"],
+          part["max_violations"], part["standing_violations"],
+          _fmt_reconv(part["reconvergence"]))],
+    ))
+
+    parts.append("\n2. bursty vs uniform loss at equal average rates")
+    parts.append(format_table(
+        ["channel", "lookup loss", "incorrect", "RDP-med", "control",
+         "standing"],
+        [(name, row["loss"], row["incorrect"], row["rdp_median"],
+          row["control"], row["standing_violations"])
+         for name, row in result["burst"].items()],
+    ))
+
+    gray = result["gray"]
+    parts.append("\n3. gray-failure mix (10% slow, 5% out-lossy, 5% stuck)")
+    parts.append(format_table(
+        ["lookup loss", "incorrect", "RDP-med", "max viol", "standing",
+         "reconvergence"],
+        [(gray["loss"], gray["incorrect"], gray["rdp_median"],
+          gray["max_violations"], gray["standing_violations"],
+          _fmt_reconv(gray["reconvergence"]))],
+    ))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run()))

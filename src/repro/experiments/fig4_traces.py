@@ -13,7 +13,6 @@ from typing import Dict
 
 from repro.experiments.reporting import downsample, format_series, format_table
 from repro.experiments.scenarios import Scenario
-from repro.overlay.runner import OverlayRunner
 from repro.sim.rng import RngStreams
 from repro.traces.realworld import (
     GNUTELLA,

@@ -9,7 +9,6 @@ while control traffic barely falls.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
 from repro.experiments.reporting import format_table

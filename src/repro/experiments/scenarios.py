@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.schedule import FaultSchedule
 from repro.network.base import Topology
 from repro.network.corpnet import CorpNetTopology
 from repro.network.hierarchical_as import HierarchicalASTopology
@@ -51,6 +52,10 @@ class Scenario:
     lookup_rate: float = 0.01
     stats_window: float = 300.0
     config: Optional[PastryConfig] = None
+    #: timed adversarial faults (partitions, bursts, gray nodes), measured time
+    fault_schedule: Optional[FaultSchedule] = None
+    #: sweep period of the runtime invariant checker; None disables it
+    invariant_period: Optional[float] = None
 
     def build_runner(self) -> OverlayRunner:
         streams = RngStreams(self.seed)
@@ -62,6 +67,8 @@ class Scenario:
             loss_rate=self.loss_rate,
             lookup_rate=self.lookup_rate,
             stats_window=self.stats_window,
+            fault_schedule=self.fault_schedule,
+            invariant_period=self.invariant_period,
         )
 
     def gnutella_trace(self, scale: float, duration: float) -> ChurnTrace:

@@ -1,0 +1,51 @@
+"""Fault injection: adversarial network pathologies beyond uniform loss.
+
+The seed simulator could only inflict the two mildest faults — uniform
+i.i.d. message loss and crash-stop churn.  This package adds the hostile
+regimes real deployments see, without touching protocol semantics:
+
+* :class:`~repro.faults.models.GilbertElliott` — per-link bursty loss (a
+  two-state Markov channel: long clean stretches, short lossy bursts),
+* :class:`~repro.faults.models.JitterParams` — delay jitter and latency
+  spikes on every link,
+* network :class:`~repro.faults.schedule.Partition` — cut the population
+  into groups for an interval, then heal,
+* :class:`~repro.faults.state.GrayFailure` — nodes that stay registered
+  but respond slowly, drop a fraction of outgoing traffic, or go
+  receive-only ("stuck"),
+* :class:`~repro.faults.schedule.FaultSchedule` — a declarative list of
+  timed fault start/stop events driven by the simulator heap, seeded from
+  the named-RNG streams so runs stay deterministic.
+
+The transport consults a per-address/per-link :class:`FaultState` in
+``Network.send`` / ``Network._deliver``; experiments attach a schedule via
+``OverlayRunner(fault_schedule=...)`` and read violation/reconvergence
+metrics from the invariant checker (``repro.overlay.invariants``).
+"""
+
+from repro.faults.models import GEParams, GilbertElliott, JitterParams
+from repro.faults.schedule import (
+    BurstLoss,
+    Fault,
+    FaultEvent,
+    FaultSchedule,
+    GrayFailures,
+    LinkJitter,
+    Partition,
+)
+from repro.faults.state import FaultState, GrayFailure
+
+__all__ = [
+    "BurstLoss",
+    "Fault",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultState",
+    "GEParams",
+    "GilbertElliott",
+    "GrayFailure",
+    "GrayFailures",
+    "JitterParams",
+    "LinkJitter",
+    "Partition",
+]

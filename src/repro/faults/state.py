@@ -1,0 +1,176 @@
+"""The fault table the transport consults on every send and delivery.
+
+:class:`FaultState` is the single mutable object wiring fault injection
+into :class:`repro.network.transport.Network`: the transport asks it
+whether an outgoing message is dropped (gray sender, partition cut, burst
+loss), whether an in-flight message may still be delivered (a partition
+that started mid-flight), and how much extra delay the message suffers
+(gray slowness, link jitter).  :class:`repro.faults.schedule.FaultSchedule`
+mutates it at fault start/stop times.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.faults.models import GEParams, GilbertElliott, JitterParams
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class GrayFailure:
+    """A node that stays registered but misbehaves.
+
+    ``out_drop`` is the fraction of *outgoing* messages silently dropped
+    (1.0 = receive-only, "stuck"); ``delay_factor``/``delay_add`` inflate
+    the delay of the messages that do get out (a slow node responds late).
+    Incoming traffic is untouched — that is what makes the failure gray:
+    peers keep reaching the node, it just stops pulling its weight.
+    """
+
+    out_drop: float = 0.0
+    delay_factor: float = 1.0
+    delay_add: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.out_drop <= 1.0:
+            raise ValueError(f"out_drop out of [0, 1]: {self.out_drop}")
+        if self.delay_factor < 1.0 or self.delay_add < 0.0:
+            raise ValueError("delay inflation cannot speed a node up")
+
+    @classmethod
+    def stuck(cls) -> "GrayFailure":
+        """Receive-only: hears everything, says nothing."""
+        return cls(out_drop=1.0)
+
+    @classmethod
+    def slow(cls, factor: float = 5.0, add: float = 0.0) -> "GrayFailure":
+        return cls(delay_factor=factor, delay_add=add)
+
+    @classmethod
+    def lossy(cls, out_drop: float = 0.5) -> "GrayFailure":
+        return cls(out_drop=out_drop)
+
+
+class FaultState:
+    """Active faults, consulted by ``Network.send`` / ``Network._deliver``.
+
+    All randomness comes from the single ``rng`` handed in (a named stream
+    derived from the master seed), so fault injection is deterministic and
+    does not perturb any other subsystem's draws.
+    """
+
+    def __init__(self, sim: Simulator, rng: random.Random) -> None:
+        self.sim = sim
+        self._rng = rng
+        self._groups: Dict[int, int] = {}  # addr -> partition group
+        self._gray: Dict[int, GrayFailure] = {}
+        self._burst: Optional[GEParams] = None
+        self._links: Dict[Tuple[int, int], GilbertElliott] = {}
+        self._jitter: Optional[JitterParams] = None
+        #: messages dropped by each fault kind ("gray", "partition", "burst")
+        self.drops: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Mutation (driven by FaultSchedule)
+    # ------------------------------------------------------------------
+    def set_partition(self, groups: Dict[int, int]) -> None:
+        """Install a partition: addresses in different groups cannot talk.
+
+        Addresses absent from ``groups`` (e.g. nodes that attach while the
+        partition is up) default to group 0.
+        """
+        self._groups = dict(groups)
+
+    def heal_partition(self) -> None:
+        self._groups = {}
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._groups)
+
+    def set_burst_loss(self, params: GEParams) -> None:
+        self._burst = params
+        self._links = {}
+
+    def clear_burst_loss(self) -> None:
+        self._burst = None
+        self._links = {}
+
+    def set_jitter(self, params: JitterParams) -> None:
+        self._jitter = params
+
+    def clear_jitter(self) -> None:
+        self._jitter = None
+
+    def set_gray(self, addr: int, gray: GrayFailure) -> None:
+        self._gray[addr] = gray
+
+    def clear_gray(self, addr: Optional[int] = None) -> None:
+        """Clear one address's gray failure, or all of them."""
+        if addr is None:
+            self._gray = {}
+        else:
+            self._gray.pop(addr, None)
+
+    def gray_of(self, addr: int) -> Optional[GrayFailure]:
+        return self._gray.get(addr)
+
+    @property
+    def active_faults(self) -> Dict[str, int]:
+        """How many faults of each kind are currently installed."""
+        return {
+            "partition_groups": len(set(self._groups.values())),
+            "gray_nodes": len(self._gray),
+            "burst_links": 1 if self._burst is not None else 0,
+            "jitter": 1 if self._jitter is not None else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries (hot path: called by the transport)
+    # ------------------------------------------------------------------
+    def _cut(self, src: int, dst: int) -> bool:
+        groups = self._groups
+        return bool(groups) and groups.get(src, 0) != groups.get(dst, 0)
+
+    def filter_send(self, src: int, dst: int) -> Optional[str]:
+        """Drop cause for an outgoing message, or None to let it through."""
+        gray = self._gray.get(src)
+        if (
+            gray is not None
+            and gray.out_drop > 0.0
+            and self._rng.random() < gray.out_drop
+        ):
+            self.drops["gray"] += 1
+            return "gray"
+        if self._cut(src, dst):
+            self.drops["partition"] += 1
+            return "partition"
+        if self._burst is not None:
+            link = self._links.get((src, dst))
+            if link is None:
+                link = GilbertElliott(self._burst, self._rng, self.sim.now)
+                self._links[(src, dst)] = link
+            if link.loses(self.sim.now):
+                self.drops["burst"] += 1
+                return "burst"
+        return None
+
+    def filter_deliver(self, src: int, dst: int) -> Optional[str]:
+        """Drop cause at delivery time (partitions cut in-flight traffic)."""
+        if self._cut(src, dst):
+            self.drops["partition"] += 1
+            return "partition"
+        return None
+
+    def adjust_delay(self, src: int, dst: int, delay: float) -> float:
+        """Inflate the one-way delay for gray slowness and link jitter."""
+        gray = self._gray.get(src)
+        if gray is not None:
+            delay = delay * gray.delay_factor + gray.delay_add
+        if self._jitter is not None:
+            delay += self._jitter.draw(self._rng)
+        return delay

@@ -1,16 +1,24 @@
 """Metrics collection for simulation runs.
 
-The collector receives three event streams — message sends (from the
-transport), lookup issues/deliveries (from the experiment runner, which
-checks deliveries against the ground-truth oracle), and active-population
-changes — and produces the paper's four metrics plus the per-message-type
-control-traffic breakdown of Figure 4.
+The collector receives four event streams — message sends and channel
+losses (from the transport), lookup issues/deliveries (from the experiment
+runner, which checks deliveries against the ground-truth oracle),
+active-population changes, and invariant-checker reports — and produces the
+paper's four metrics plus the per-message-type control-traffic breakdown of
+Figure 4.
+
+Traffic accounting: ``sent_total`` counts *attempted* sends, ``lost_total``
+the subset dropped by the channel or fault injection, and
+``delivered_total`` the difference.  Figure 4's control-traffic numbers (and
+all ``control_*``/bandwidth metrics here) use the **sent** counts — the
+paper measures the bandwidth a node *spends* on maintenance, and a message
+lost in the network still cost its sender the transmission.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.pastry.messages import CAT_LOOKUP, CONTROL_CATEGORIES, wire_size
@@ -67,6 +75,7 @@ class StatsCollector:
 
     def __post_init__(self) -> None:
         self.sent_total: Dict[str, int] = defaultdict(int)
+        self.lost_total: Dict[str, int] = defaultdict(int)
         self.bytes_total: Dict[str, int] = defaultdict(int)
         self.sent_windowed: Dict[str, Dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
@@ -75,6 +84,8 @@ class StatsCollector:
         self.join_latencies: List[float] = []
         self.active = ActiveIntegrator(self.window)
         self.rdp_samples: Dict[int, List[float]] = defaultdict(list)
+        #: (time, {kind: violation count}) per invariant-checker sweep
+        self.invariant_checks: List[Tuple[float, Dict[str, int]]] = []
         self.end_time: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -85,6 +96,10 @@ class StatsCollector:
         self.sent_total[category] += 1
         self.bytes_total[category] += wire_size(msg)
         self.sent_windowed[category][int(now // self.window)] += 1
+
+    def on_loss(self, msg, src: int, dst: int, now: float) -> None:
+        """An attempted send that the channel (or a fault) dropped."""
+        self.lost_total[msg.category] += 1
 
     def on_lookup_issued(self, msg, now: float) -> None:
         self.lookups[msg.msg_id] = LookupRecord(
@@ -121,6 +136,10 @@ class StatsCollector:
 
     def on_active_change(self, now: float, delta: int) -> None:
         self.active.change(now, delta)
+
+    def on_invariant_check(self, now: float, counts: Dict[str, int]) -> None:
+        """Record one invariant-checker sweep (zero counts included)."""
+        self.invariant_checks.append((now, dict(counts)))
 
     def finish(self, now: float) -> None:
         self.active.advance(now)
@@ -247,3 +266,43 @@ class StatsCollector:
         if not delivered:
             return 0.0
         return sum(r.hops for r in delivered) / len(delivered)
+
+    # ------------------------------------------------------------------
+    # Transport accounting (sent vs lost vs delivered)
+    # ------------------------------------------------------------------
+    def delivered_total(self) -> Dict[str, int]:
+        """Per-category messages that actually reached the wire's far end."""
+        return {
+            category: sent - self.lost_total.get(category, 0)
+            for category, sent in self.sent_total.items()
+        }
+
+    def messages_lost_in_network(self) -> int:
+        return sum(self.lost_total.values())
+
+    # ------------------------------------------------------------------
+    # Invariant violations and reconvergence (fault experiments)
+    # ------------------------------------------------------------------
+    def violation_series(self) -> List[Tuple[float, int]]:
+        """Total standing violations at each invariant-checker sweep."""
+        return [(t, sum(counts.values())) for t, counts in self.invariant_checks]
+
+    def standing_violations(self) -> int:
+        """Violation count at the most recent sweep (0 when never checked)."""
+        if not self.invariant_checks:
+            return 0
+        return sum(self.invariant_checks[-1][1].values())
+
+    def max_violations(self) -> int:
+        return max((n for _, n in self.violation_series()), default=0)
+
+    def reconvergence_time(self, after: float) -> Optional[float]:
+        """Seconds from ``after`` until the first all-clear sweep.
+
+        ``after`` is typically a fault's end time; None means the overlay
+        never reported a clean sweep again (or was never checked).
+        """
+        for t, counts in self.invariant_checks:
+            if t >= after and sum(counts.values()) == 0:
+                return t - after
+        return None

@@ -4,12 +4,28 @@ Semantics match the paper's simulator: point-to-point message delivery after
 the topology's one-way delay, an optional uniform message loss probability,
 and no congestion modelling.  Messages sent to a node that has failed (been
 deregistered) are silently dropped on delivery — the crash-stop model.
+
+Beyond the paper, an optional :class:`repro.faults.FaultState` attached as
+``network.faults`` injects adversarial pathologies: per-link bursty loss,
+partitions, gray senders and delay inflation (see ``repro.faults``).
+
+Message accounting distinguishes three counters:
+
+* ``messages_sent`` — *attempted* sends (what a sender pays for),
+* ``messages_lost`` — dropped by the channel (uniform loss) or by fault
+  injection (``messages_lost_faults`` sub-counts the latter),
+* ``messages_delivered`` — handler actually invoked;
+  ``messages_dropped_dead`` counts arrivals at deregistered addresses.
+
+An attached ``stats`` collector sees every attempt via ``on_send`` and every
+channel/fault loss via ``on_loss`` (if it defines one), so it can report
+sent, lost and delivered per message type separately.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.network.base import Topology
 from repro.sim.engine import Simulator
@@ -28,17 +44,32 @@ class Network:
         loss_rate: float = 0.0,
         stats: Optional[Any] = None,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate out of range: {loss_rate}")
         self.sim = sim
         self.topology = topology
-        self.loss_rate = loss_rate
+        self.loss_rate = loss_rate  # validated by the property setter
         self.stats = stats
         self._rng = rng
         self._handlers: Dict[int, Handler] = {}
+        #: optional fault table (repro.faults.FaultState); installed by a
+        #: FaultSchedule, consulted on every send and delivery
+        self.faults = None
         self.messages_sent = 0
         self.messages_lost = 0
+        self.messages_lost_faults = 0
+        self.messages_delivered = 0
         self.messages_dropped_dead = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def loss_rate(self) -> float:
+        """Uniform per-message loss probability; mutable mid-run (sweeps)."""
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss_rate out of range: {rate}")
+        self._loss_rate = rate
 
     # ------------------------------------------------------------------
     def attach(self) -> int:
@@ -56,6 +87,10 @@ class Network:
     def is_registered(self, address: int) -> bool:
         return address in self._handlers
 
+    def addresses(self) -> List[int]:
+        """All currently registered addresses (fault targeting, audits)."""
+        return list(self._handlers)
+
     # ------------------------------------------------------------------
     def delay(self, a: int, b: int) -> float:
         return self.topology.delay(a, b)
@@ -68,14 +103,32 @@ class Network:
         self.messages_sent += 1
         if self.stats is not None:
             self.stats.on_send(msg, src, dst, self.sim.now)
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
-            self.messages_lost += 1
+        if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
+            self._lose(msg, src, dst)
             return
-        self.sim.schedule(self.topology.delay(src, dst), self._deliver, src, dst, msg)
+        delay = self.topology.delay(src, dst)
+        if self.faults is not None:
+            if self.faults.filter_send(src, dst) is not None:
+                self.messages_lost_faults += 1
+                self._lose(msg, src, dst)
+                return
+            delay = self.faults.adjust_delay(src, dst, delay)
+        self.sim.schedule(delay, self._deliver, src, dst, msg)
+
+    def _lose(self, msg: Any, src: int, dst: int) -> None:
+        self.messages_lost += 1
+        on_loss = getattr(self.stats, "on_loss", None)
+        if on_loss is not None:
+            on_loss(msg, src, dst, self.sim.now)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
+        if self.faults is not None and self.faults.filter_deliver(src, dst) is not None:
+            self.messages_lost_faults += 1
+            self._lose(msg, src, dst)
+            return
         handler = self._handlers.get(dst)
         if handler is None:
             self.messages_dropped_dead += 1
             return
+        self.messages_delivered += 1
         handler(src, msg)

@@ -6,6 +6,7 @@ fault injection, drives a Poisson lookup workload, and checks every delivery
 against the ground-truth :class:`Oracle`.
 """
 
+from repro.overlay.invariants import InvariantChecker
 from repro.overlay.oracle import Oracle
 from repro.overlay.reliable import ReliableLookups
 from repro.overlay.runner import OverlayRunner, RunResult
@@ -13,6 +14,7 @@ from repro.overlay.utils import build_overlay
 from repro.overlay.workload import LookupWorkload
 
 __all__ = [
+    "InvariantChecker",
     "LookupWorkload",
     "Oracle",
     "OverlayRunner",

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.pastry.nodeid import shared_prefix_length
 
 
 def live_nodes(nodes: Sequence) -> List:

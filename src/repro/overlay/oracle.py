@@ -57,6 +57,20 @@ class Oracle:
     def active_nodes(self) -> List[object]:
         return list(self._by_id.values())
 
+    def active_ids(self) -> List[int]:
+        """Sorted ids of all active nodes (a copy)."""
+        return list(self._active_ids)
+
+    def alive_ids(self) -> List[int]:
+        """Ids of all alive nodes, including ones still joining."""
+        return list(self._alive)
+
+    def get_active(self, node_id: int):
+        return self._by_id.get(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._alive
+
     def root_of(self, key: int) -> Optional[int]:
         """The nodeId that should receive a lookup for ``key`` right now."""
         ids = self._active_ids

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.schedule import FaultSchedule
 from repro.metrics.collector import StatsCollector
 from repro.network.base import Topology
 from repro.network.transport import Network
+from repro.overlay.invariants import InvariantChecker
 from repro.overlay.oracle import Oracle
 from repro.overlay.workload import LookupWorkload
 from repro.pastry.config import PastryConfig
@@ -27,7 +29,7 @@ from repro.traces.events import ARRIVAL, ChurnTrace
 
 
 class _ShiftedStats:
-    """Adapter handing transport sends to the collector in shifted time."""
+    """Adapter handing transport events to the collector in shifted time."""
 
     def __init__(self, collector: StatsCollector, t0: float) -> None:
         self._collector = collector
@@ -36,6 +38,10 @@ class _ShiftedStats:
     def on_send(self, msg, src: int, dst: int, now: float) -> None:
         if now >= self._t0:
             self._collector.on_send(msg, src, dst, now - self._t0)
+
+    def on_loss(self, msg, src: int, dst: int, now: float) -> None:
+        if now >= self._t0:
+            self._collector.on_loss(msg, src, dst, now - self._t0)
 
 
 @dataclass
@@ -82,6 +88,9 @@ class OverlayRunner:
         stats_window: float = 600.0,
         warmup_join_interval: float = 0.2,
         warmup_settle: float = 90.0,
+        fault_schedule: Optional[FaultSchedule] = None,
+        invariant_period: Optional[float] = None,
+        invariant_kwargs: Optional[Dict[str, float]] = None,
     ) -> None:
         self.config = config
         self.streams = streams
@@ -101,6 +110,10 @@ class OverlayRunner:
         self._trace_nodes: Dict[int, MSPastryNode] = {}
         self._t0 = 0.0
         self._never_activated = 0
+        self.fault_schedule = fault_schedule
+        self.invariant_period = invariant_period
+        self.invariant_kwargs = invariant_kwargs or {}
+        self.checker: Optional[InvariantChecker] = None
         #: optional hook called as on_spawn(trace_node_id, node) right after
         #: a node is created — applications attach themselves here
         self.on_spawn = None
@@ -187,12 +200,34 @@ class OverlayRunner:
 
         ``extra_schedule(sim, t0)``, when given, is called before the run so
         callers can schedule application workloads in measured time (their
-        trace timestamps shifted by ``t0``).
+        trace timestamps shifted by ``t0``).  A ``fault_schedule`` given at
+        construction is likewise installed in measured time, and the
+        invariant checker (when ``invariant_period`` is set) sweeps the
+        overlay from the start of the measured phase, recording violation
+        counts into the collector.
         """
         initial = trace.initial_nodes()
         warmup = len(initial) * self.warmup_join_interval + self.warmup_settle
         self._t0 = warmup
         self.collector = StatsCollector(window=self.stats_window)
+
+        if self.fault_schedule is not None:
+            self.fault_schedule.install(
+                self.sim, self.network, self.streams.stream("faults"),
+                offset=warmup,
+            )
+        if self.invariant_period is not None:
+            collector = self.collector
+            self.checker = InvariantChecker(
+                self.sim,
+                self.oracle,
+                period=self.invariant_period,
+                on_report=lambda now, counts: collector.on_invariant_check(
+                    now - warmup, counts
+                ),
+                start_delay=warmup,
+                **self.invariant_kwargs,
+            )
 
         for i, trace_node in enumerate(initial):
             self.sim.schedule(i * self.warmup_join_interval, self._spawn, trace_node)
@@ -210,6 +245,19 @@ class OverlayRunner:
 
         self.sim.run(until=warmup + trace.duration)
         self.collector.finish(trace.duration)
+        extras: Dict[str, object] = {
+            "messages": {
+                "sent": self.network.messages_sent,
+                "lost": self.network.messages_lost,
+                "lost_faults": self.network.messages_lost_faults,
+                "delivered": self.network.messages_delivered,
+                "dropped_dead": self.network.messages_dropped_dead,
+            },
+        }
+        if self.fault_schedule is not None:
+            extras["fault_windows"] = self.fault_schedule.windows()
+        if self.network.faults is not None:
+            extras["fault_drops"] = dict(self.network.faults.drops)
         return RunResult(
             stats=self.collector,
             trace_name=trace.name,
@@ -217,6 +265,7 @@ class OverlayRunner:
             config=self.config,
             final_active=self.oracle.active_count,
             nodes_never_activated=self._never_activated,
+            extras=extras,
         )
 
     def _start_measurement(self) -> None:

@@ -38,6 +38,23 @@ class PastryConfig:
     state_sweep_period: float = 900.0
     failure_history_size: int = 16  # K failures remembered for the mu estimate
     probe_suppression: bool = True
+    #: how long a confirmed failure is remembered before the node is worth
+    #: re-probing.  Under crash-stop a corpse stays dead and the veto could
+    #: be eternal, but gray failures (receive-only, out-lossy nodes) recover
+    #: — an everlasting failed set makes expelled-but-alive nodes, and in
+    #: the worst case whole islets of them, unrecoverable.  On expiry the
+    #: entry is dropped and re-probed once if it still belongs in the leaf
+    #: set; repeated failures back off exponentially up to
+    #: ``failed_backoff_max``.
+    failed_memory: float = 120.0
+    failed_backoff_max: float = 600.0
+    #: §4.1 probe suppression applied to leaf-set candidate probes: a
+    #: candidate we completed an LS-probe exchange with this recently is
+    #: not re-probed just because a neighbour's leaf set mentions it.
+    #: Under heavy membership flapping (gray failures, partition heal)
+    #: every exchange re-offers the whole leaf set, and unsuppressed
+    #: candidate probing cascades ring-wide.  Gated on probe_suppression.
+    candidate_probe_suppression: float = 15.0
 
     # --- reliable routing (§3.2) ----------------------------------------
     per_hop_acks: bool = True

@@ -11,7 +11,7 @@ closest node seen seeds the join.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.pastry import messages as m
 from repro.pastry.nodeid import NodeDescriptor

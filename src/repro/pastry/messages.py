@@ -38,6 +38,10 @@ class Message:
 @dataclass
 class JoinRequest(Message):
     category = CAT_JOIN
+    #: join requests are routed like lookups and, like them, per-hop acked
+    #: (§3.2): an un-acked join dies silently at the first dead hop, and the
+    #: joiner's coarse retry timer is a poor substitute for rerouting
+    msg_id: int = 0
     joiner: NodeDescriptor = None
     #: routing-table rows accumulated along the join route: row index ->
     #: descriptors from the node whose prefix match length equals that row
@@ -185,7 +189,7 @@ class Lookup(Message):
 
 @dataclass
 class Ack(Message):
-    """Per-hop acknowledgement for a Lookup (§3.2)."""
+    """Per-hop acknowledgement for a routed message — Lookup or JoinRequest (§3.2)."""
 
     category = CAT_ACK
     msg_id: int = 0
@@ -255,8 +259,10 @@ def wire_size(msg: Message) -> int:
         rows = getattr(msg, "rows", {})
         size += sum(_descriptor_list_bytes(entries) for entries in rows.values())
         size += _descriptor_list_bytes(getattr(msg, "leaf_set", ()))
-        if isinstance(msg, JoinRequest) and msg.joiner is not None:
-            size += DESCRIPTOR_BYTES
+        if isinstance(msg, JoinRequest):
+            size += 8  # msg_id
+            if msg.joiner is not None:
+                size += DESCRIPTOR_BYTES
     elif isinstance(msg, (RowAnnounce, RowReply)):
         size += 2 + _descriptor_list_bytes(msg.entries)
     elif isinstance(msg, (StateReply, LeafSetReply)):

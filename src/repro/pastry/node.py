@@ -97,11 +97,15 @@ class MSPastryNode:
         self.activated_at: Optional[float] = None
 
         self.failed: Dict[int, NodeDescriptor] = {}
+        self.failed_at: Dict[int, float] = {}
+        self._failed_backoff: Dict[int, float] = {}
         self.suspected: Set[int] = set()
         self.probing: Dict[int, _ProbeState] = {}
         self._rt_probing: Dict[int, _ProbeState] = {}
         self.last_heard: Dict[int, float] = {}
         self.last_sent: Dict[int, float] = {}
+        #: completed LS-probe exchanges, for candidate-probe suppression
+        self._ls_heard: Dict[int, float] = {}
 
         self.rto_table = RtoTable(
             config.rto_initial,
@@ -209,7 +213,9 @@ class MSPastryNode:
 
     def _send_join(self, seed: NodeDescriptor) -> None:
         self._join_attempts += 1
-        self.send(seed, m.JoinRequest(joiner=self.descriptor))
+        self._lookup_seq += 1
+        msg_id = (self.addr << 24) | (self._lookup_seq & 0xFFFFFF)
+        self.send(seed, m.JoinRequest(msg_id=msg_id, joiner=self.descriptor))
         self._join_timer = self.sim.schedule(JOIN_RETRY_INTERVAL, self._join_retry)
 
     def _join_retry(self) -> None:
@@ -231,7 +237,23 @@ class MSPastryNode:
             msg.rows.setdefault(row, []).extend(self.routing_table.row_entries(row))
         # The joiner may already be known (distance reports, gossip) but it
         # is not active: never route its own join request to it.
-        self._route(msg, msg.joiner.id, excluded=frozenset({msg.joiner.id}))
+        excluded = frozenset({msg.joiner.id})
+        next_hop = self._next_hop(msg.joiner.id, excluded)
+        # §3.2 applied to joins: ack the previous hop only when we can make
+        # progress (forward, or reply as the active root).  A mid-join node
+        # that would merely buffer the request stays silent, so the sender
+        # reroutes around it instead of feeding a blackhole.
+        if (
+            self.config.per_hop_acks
+            and msg.msg_id
+            and msg.sender is not None
+            and (next_hop is not None or self.active)
+        ):
+            self.send(msg.sender, m.Ack(msg_id=msg.msg_id))
+        if next_hop is None:
+            self._receive_root(msg, msg.joiner.id)
+        else:
+            self._forward(msg, next_hop)
 
     def _join_request_at_root(self, msg: m.JoinRequest) -> None:
         if not self.active:
@@ -283,9 +305,25 @@ class MSPastryNode:
             desc,
             m.LsProbe(
                 leaf_set=self.leaf_set.members(),
-                failed=list(self.failed.values()),
+                failed=self._advertised_failed(),
             ),
         )
+
+    def _advertised_failed(self) -> list:
+        """Failure claims worth announcing: entries younger than the memory.
+
+        An old entry is stale news — everyone in range heard the claim when
+        it was fresh, and re-broadcasting it for the whole (backed-off)
+        retry interval makes every receiver that still lists the node
+        re-verify it on each exchange, which under membership flapping
+        amplifies into a probe storm.
+        """
+        horizon = self.sim.now - self.config.failed_memory
+        return [
+            desc
+            for node_id, desc in self.failed.items()
+            if self.failed_at.get(node_id, -1e18) >= horizon
+        ]
 
     def _probe_timeout(self, node_id: int) -> None:
         if self.crashed:
@@ -307,12 +345,43 @@ class MSPastryNode:
         self.routing_table.remove(desc.id)
         self.suspected.discard(desc.id)
         if len(self.failed) >= MAX_FAILED_REMEMBERED:
-            self.failed.pop(next(iter(self.failed)))
+            # Evict a non-leaf-relevant entry if one exists: a remembered
+            # failure that still belongs in the leaf set is the expiry
+            # retry's only path back to an expelled-but-recovered ring
+            # neighbour, and silently dropping it orphans that neighbour
+            # for good (nobody else holds a reference to probe).
+            evicted = next(
+                (
+                    fid
+                    for fid, fdesc in self.failed.items()
+                    if not self.leaf_set.would_admit(fdesc)
+                ),
+                None,
+            )
+            if evicted is None:
+                evicted = next(iter(self.failed))
+            else:
+                self._failed_backoff.pop(evicted, None)
+            self.failed.pop(evicted)
+            self.failed_at.pop(evicted, None)
         self.failed[desc.id] = desc
+        self.failed_at[desc.id] = self.sim.now
+        # Exponential re-probe backoff (see _retry_failed): a node failing
+        # again straight after an expiry retry waits twice as long next time.
+        fresh = desc.id not in self._failed_backoff
+        self._failed_backoff[desc.id] = min(
+            2.0 * self._failed_backoff.get(desc.id, self.config.failed_memory / 2.0),
+            self.config.failed_backoff_max,
+        )
         self.tuner.forget_peer(desc.id)
-        self.tuner.failures.record_failure(self.sim.now)
+        if fresh:
+            # Expiry re-probes of the same remembered corpse are
+            # re-observations, not new failures: recording them would
+            # inflate the self-tuning failure-rate estimate.
+            self.tuner.failures.record_failure(self.sim.now)
         self.prox.forget(desc.id)
         self.last_heard.pop(desc.id, None)
+        self._ls_heard.pop(desc.id, None)
         if self._deferred and desc.id in self._deferred:
             self._flush_deferred_for(desc.id)
         if was_leaf and self.active:
@@ -321,6 +390,61 @@ class MSPastryNode:
             for member in self.leaf_set.members():
                 self.probe(member)
 
+    def _forget_failure(self, node_id: int) -> None:
+        """The node proved itself alive: drop all failure memory for it."""
+        self.failed.pop(node_id, None)
+        self.failed_at.pop(node_id, None)
+        self._failed_backoff.pop(node_id, None)
+
+    def _clear_failed(self) -> None:
+        # A complete leaf set makes most failure memory stale, but entries
+        # that would still be admitted are the ring's own neighbourhood:
+        # they survive the clear so the expiry retry (_retry_failed) can
+        # reach an expelled-but-recovered neighbour that no longer appears
+        # in anyone's routing state.  Backoffs survive in full on purpose:
+        # a flapping gray node must not get its retry cadence reset every
+        # time the leaf set completes.
+        stale = [
+            fid
+            for fid, fdesc in self.failed.items()
+            if not self.leaf_set.would_admit(fdesc)
+        ]
+        for node_id in stale:
+            self.failed.pop(node_id, None)
+            self.failed_at.pop(node_id, None)
+
+    def _retry_failed(self) -> None:
+        """Expire failure memory (PastryConfig.failed_memory).
+
+        Under crash-stop an eternal failed set is harmless, but a gray node
+        (receive-only or out-lossy for a while) ends up expelled everywhere
+        with *everyone* in its own failed set — and since probes are vetoed
+        by that set, two such nodes can lock into a mutually consistent
+        islet no outside traffic ever reaches.  Expiry is the escape hatch:
+        a remembered failure older than its backoff is dropped, and
+        re-probed once if it still belongs in the leaf set.
+        """
+        if not self.failed:
+            return
+        now = self.sim.now
+        base = self.config.failed_memory
+        expired = [
+            node_id
+            for node_id, since in self.failed_at.items()
+            if now - since >= self._failed_backoff.get(node_id, base)
+        ]
+        for node_id in expired:
+            desc = self.failed.pop(node_id, None)
+            self.failed_at.pop(node_id, None)
+            if desc is None:
+                continue
+            if self.leaf_set.would_admit(desc):
+                self.probe(desc)
+            else:
+                # No longer leaf-relevant: forget it entirely so the
+                # backoff table cannot grow without bound.
+                self._failed_backoff.pop(node_id, None)
+
     def done_probing(self, node_id: int) -> None:
         state = self.probing.pop(node_id, None)
         if state is not None and state.timer is not None:
@@ -328,7 +452,7 @@ class MSPastryNode:
         if self.probing:
             return
         if self.leaf_set.complete:
-            self.failed.clear()
+            self._clear_failed()
             if not self.active:
                 self._activate()
             else:
@@ -339,22 +463,47 @@ class MSPastryNode:
 
     def _handle_ls_info(self, sender: NodeDescriptor, msg) -> None:
         """Common processing of LS-PROBE and LS-PROBE-REPLY (Figure 2)."""
-        self.failed.pop(sender.id, None)
+        self._forget_failure(sender.id)
+        self._ls_heard[sender.id] = self.sim.now
         self.leaf_set.add(sender)
         self.consider_for_routing_table(sender)
-        # Verify claimed failures of our own leaf-set members ourselves.
+        # Verify claimed failures of our own leaf-set members ourselves: the
+        # member stays until our probe fails (a false claim must not evict a
+        # live neighbour), and a claim contradicted by fresher direct
+        # evidence — we heard from the node within one probe cycle — is
+        # ignored outright.
+        probe_cycle = (
+            self.config.max_probe_retries + 1
+        ) * self.config.probe_timeout
         for desc in msg.failed:
             if desc.id == self.id:
                 continue
             if desc.id in self.leaf_set:
-                member = self.leaf_set.get(desc.id)
-                self.leaf_set.remove(desc.id)
-                self.probe(member)
+                if self.last_heard.get(desc.id, -1e18) > self.sim.now - probe_cycle:
+                    continue
+                self.probe(self.leaf_set.get(desc.id))
         # Candidates from the sender's leaf set, probed before inclusion.
+        # Suppression: a candidate we exchanged leaf sets with in the last
+        # few seconds told us everything a fresh probe would; re-probing it
+        # every time a neighbour mentions it turns membership flapping
+        # (gray failures, partition heal) into a ring-wide probe storm.
+        # Never suppress while joining or mid-repair: an ignored candidate
+        # offer is not revisited, and a stalled repair can outlast a
+        # joiner's retry budget.
+        suppress = (
+            self.config.candidate_probe_suppression
+            if self.config.probe_suppression
+            and self.active
+            and self.leaf_set.complete
+            else 0.0
+        )
+        horizon = self.sim.now - suppress
         for desc in msg.leaf_set:
             if desc.id == self.id or desc.id in self.failed:
                 continue
             if desc.id in self.leaf_set:
+                continue
+            if suppress and self._ls_heard.get(desc.id, -1e18) > horizon:
                 continue
             if self.leaf_set.would_admit(desc):
                 self.probe(desc)
@@ -365,7 +514,7 @@ class MSPastryNode:
             sender,
             m.LsProbeReply(
                 leaf_set=self.leaf_set.members(),
-                failed=list(self.failed.values()),
+                failed=self._advertised_failed(),
             ),
         )
 
@@ -466,7 +615,7 @@ class MSPastryNode:
             return
         self.active = True
         self.activated_at = self.sim.now
-        self.failed.clear()
+        self._clear_failed()
         if self._join_timer is not None:
             self._join_timer.cancel()
         # Notify before flushing buffered traffic: the node is the root of
@@ -506,6 +655,7 @@ class MSPastryNode:
     # Failure detection timers (§4.1)
     # ------------------------------------------------------------------
     def _heartbeat_tick(self) -> None:
+        self._retry_failed()
         if self.config.heartbeat_all_leafset:
             # Ablation baseline: heartbeat every member (cost grows with l).
             for member in self.leaf_set.members():
@@ -547,7 +697,7 @@ class MSPastryNode:
         — this is the fast recovery from consistency violations (§3.1).
         """
         if sender.id in self.failed:
-            self.failed.pop(sender.id)
+            self._forget_failure(sender.id)
             self.probe(sender)
         elif sender.id not in self.leaf_set and self.leaf_set.would_admit(sender):
             self.probe(sender)
@@ -712,19 +862,26 @@ class MSPastryNode:
         if isinstance(msg, m.Lookup):
             if msg.wants_acks and self.config.per_hop_acks:
                 self.acks.track(msg, next_hop)
+        elif isinstance(msg, m.JoinRequest):
+            if msg.msg_id and self.config.per_hop_acks:
+                self.acks.track(msg, next_hop)
         self.send(next_hop, msg)
 
-    def _reroute_lookup(self, msg: m.Lookup, excluded: Set[int]) -> bool:
+    def _reroute_lookup(self, msg: m.Message, excluded: Set[int]) -> bool:
         if self.crashed:
             return False
+        if isinstance(msg, m.JoinRequest):
+            return self._route(
+                msg, msg.joiner.id, frozenset(excluded) | {msg.joiner.id}
+            )
         return self._route(msg, msg.key, frozenset(excluded))
 
-    def _resend_lookup(self, msg: m.Lookup, next_hop: NodeDescriptor) -> None:
+    def _resend_lookup(self, msg: m.Message, next_hop: NodeDescriptor) -> None:
         if not self.crashed:
             self.send(next_hop, msg)
 
-    def _lookup_dropped(self, msg: m.Lookup) -> None:
-        if self.on_drop is not None:
+    def _lookup_dropped(self, msg: m.Message) -> None:
+        if isinstance(msg, m.Lookup) and self.on_drop is not None:
             self.on_drop(self, msg)
 
     def _receive_root(self, msg: m.Message, key: int) -> None:
@@ -886,6 +1043,25 @@ class MSPastryNode:
                 self._flush_deferred_for(sender.id)
             if msg.tuning_hint is not None:
                 self.tuner.record_hint(sender.id, msg.tuning_hint)
+            # Contact-driven leaf-set recovery: traffic from a node that
+            # belongs in our leaf set but is not there triggers a probe.
+            # This generalizes the heartbeat recovery rule below and is what
+            # re-merges two rings after a network partition heals — the
+            # first cross-side contact (a routed lookup, an RT probe) pulls
+            # the sender in, and the ensuing LS-PROBE exchange propagates
+            # both sides' leaf sets.  Only message types that active members
+            # send qualify: probing e.g. a seed-discovery walker or a
+            # mid-join node would entangle it in the ring prematurely.
+            if (
+                self.active
+                and isinstance(
+                    msg, (m.Lookup, m.Ack, m.Heartbeat, m.RtProbe, m.RtProbeReply)
+                )
+                and sender.id not in self.leaf_set
+                and sender.id not in self.failed
+                and self.leaf_set.would_admit(sender)
+            ):
+                self.probe(sender)
 
         if isinstance(msg, m.Lookup):
             self._on_lookup(msg)

@@ -2,8 +2,6 @@
 
 import random
 
-from repro.network.simple import UniformDelayTopology
-from repro.network.transport import Network
 from repro.overlay.utils import build_overlay
 from repro.pastry import messages as m
 from repro.pastry.acks import HopAckManager

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.apps.dht import Dht, DhtNode, DhtResult
+from repro.apps.dht import Dht, DhtNode
 from repro.overlay.utils import build_overlay
 from repro.pastry.config import PastryConfig
 from repro.pastry.nodeid import random_nodeid

@@ -83,7 +83,6 @@ def test_deferral_disabled_delivers_immediately():
 # Same-hop retransmission (ablation option)
 # ----------------------------------------------------------------------
 def test_same_hop_retransmit_recovers_single_loss():
-    from repro.network.transport import Network
 
     sim, net, nodes = overlay(seed=307, same_hop_retransmits=2)
     rng = random.Random(4)

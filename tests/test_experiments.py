@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import (
     ablation,
+    faults,
     fig3_failure_rates,
     fig5_sessions,
     fig6_loss,
@@ -79,6 +80,26 @@ def test_fig7_structure():
     assert set(result["l"]) == {8, 16}
     assert set(result["b"]) == {2, 4}
     assert fig7_params.format_report(result)
+
+
+def test_faults_structure():
+    # Tiny scale: fault windows (600..900) must sit inside the duration so
+    # every scenario gets a post-fault reconvergence measurement.
+    result = faults.run(seed=9, trace_scale=0.012, duration=1200.0,
+                        burst_rates=(0.03,))
+    assert set(result) == {"partition", "burst", "gray"}
+    for scenario in ("partition", "gray"):
+        row = result[scenario]
+        assert "reconvergence" in row
+        assert row["standing_violations"] >= 0
+        assert row["fault_drops"] > 0
+    assert set(result["burst"]) == {"uniform-3%", "bursty-3%"}
+    assert result["burst"]["bursty-3%"]["fault_drops"] > 0
+    assert result["burst"]["uniform-3%"]["fault_drops"] == 0
+    report = faults.format_report(result)
+    assert "partition/heal" in report
+    assert "bursty vs uniform" in report
+    assert "gray-failure mix" in report
 
 
 def test_ablation_structure():

@@ -82,7 +82,6 @@ def test_mark_faulty_records_failure_for_mu_estimate():
 
 def test_heartbeats_flow_to_left_neighbour():
     from repro.pastry import messages as m
-    from repro.network.transport import Network
 
     sim, net, nodes = fresh(seed=17)
     heartbeats = []

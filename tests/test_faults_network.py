@@ -1,0 +1,280 @@
+"""Fault injection at the transport: partitions, gray nodes, schedules."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    GEParams,
+    GrayFailure,
+    GrayFailures,
+    LinkJitter,
+    JitterParams,
+    Partition,
+)
+from repro.faults.state import FaultState
+from repro.network.simple import UniformDelayTopology
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+def make_net(n=2, delay=0.05, seed=1, loss=0.0):
+    sim = Simulator()
+    net = Network(sim, UniformDelayTopology(delay), random.Random(seed), loss)
+    inboxes = {}
+    addrs = []
+    for _ in range(n):
+        addr = net.attach()
+        inboxes[addr] = []
+        net.register(addr, lambda src, msg, a=addr: inboxes[a].append((src, msg)))
+        addrs.append(addr)
+    return sim, net, addrs, inboxes
+
+
+def with_faults(net):
+    state = FaultState(net.sim, random.Random(99))
+    net.faults = state
+    return state
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def test_partition_blocks_cross_group_but_not_same_group():
+    sim, net, (a, b, c), inboxes = make_net(n=3)
+    state = with_faults(net)
+    state.set_partition({a: 0, b: 1, c: 1})
+
+    net.send(a, b, "cross")
+    net.send(b, c, "same")
+    sim.run()
+
+    assert inboxes[b] == []
+    assert inboxes[c] == [(b, "same")]
+    assert state.drops["partition"] == 1
+    assert net.messages_lost_faults == 1
+
+
+def test_partition_heal_restores_connectivity():
+    sim, net, (a, b), inboxes = make_net()
+    state = with_faults(net)
+    state.set_partition({a: 0, b: 1})
+    net.send(a, b, "during")
+    sim.run()
+    assert inboxes[b] == []
+
+    state.heal_partition()
+    net.send(a, b, "after")
+    sim.run()
+    assert inboxes[b] == [(a, "after")]
+
+
+def test_partition_cuts_messages_already_in_flight():
+    sim, net, (a, b), inboxes = make_net(delay=1.0)
+    state = with_faults(net)
+    net.send(a, b, "in-flight")  # passes filter_send: no partition yet
+    sim.schedule(0.5, state.set_partition, {a: 0, b: 1})
+    sim.run()
+    assert inboxes[b] == []
+    assert state.drops["partition"] == 1
+
+
+def test_unlisted_addresses_default_to_group_zero():
+    sim, net, (a, b, c), inboxes = make_net(n=3)
+    state = with_faults(net)
+    state.set_partition({c: 1})  # a and b implicitly in group 0
+    net.send(a, b, "zero-zero")
+    sim.run()
+    assert inboxes[b] == [(a, "zero-zero")]
+
+
+# ----------------------------------------------------------------------
+# Gray failures
+# ----------------------------------------------------------------------
+def test_gray_failure_validation():
+    with pytest.raises(ValueError):
+        GrayFailure(out_drop=1.5)
+    with pytest.raises(ValueError):
+        GrayFailure(delay_factor=0.5)
+    with pytest.raises(ValueError):
+        GrayFailure(delay_add=-1.0)
+
+
+def test_stuck_node_is_receive_only():
+    sim, net, (a, b), inboxes = make_net()
+    state = with_faults(net)
+    state.set_gray(a, GrayFailure.stuck())
+
+    net.send(a, b, "out")  # dropped: a's outgoing traffic dies
+    net.send(b, a, "in")  # delivered: incoming is untouched
+    sim.run()
+
+    assert inboxes[b] == []
+    assert inboxes[a] == [(b, "in")]
+    assert state.drops["gray"] == 1
+
+
+def test_lossy_gray_drops_the_configured_fraction():
+    sim, net, (a, b), inboxes = make_net()
+    state = with_faults(net)
+    state.set_gray(a, GrayFailure.lossy(0.5))
+    for _ in range(600):
+        net.send(a, b, "x")
+    sim.run()
+    assert state.drops["gray"] == pytest.approx(300, abs=60)
+    assert len(inboxes[b]) == 600 - state.drops["gray"]
+
+
+def test_slow_gray_inflates_delay_of_delivered_messages():
+    sim, net, (a, b), inboxes = make_net(delay=0.1)
+    state = with_faults(net)
+    state.set_gray(a, GrayFailure.slow(factor=5.0, add=0.2))
+
+    arrivals = []
+    net.register(b, lambda src, msg: arrivals.append(sim.now))
+    net.send(a, b, "late")
+    net.send(b, a, "on-time")
+    sim.run()
+
+    assert arrivals == [pytest.approx(0.1 * 5.0 + 0.2)]
+    assert sim.now == pytest.approx(0.7)  # nothing outlives the slow delivery
+
+
+def test_clear_gray_single_and_all():
+    sim, net, (a, b), _ = make_net()
+    state = with_faults(net)
+    state.set_gray(a, GrayFailure.stuck())
+    state.set_gray(b, GrayFailure.stuck())
+    state.clear_gray(a)
+    assert state.gray_of(a) is None
+    assert state.gray_of(b) is not None
+    state.clear_gray()
+    assert state.gray_of(b) is None
+
+
+# ----------------------------------------------------------------------
+# Burst loss and jitter at the transport
+# ----------------------------------------------------------------------
+def test_burst_loss_is_per_directed_link():
+    sim, net, (a, b), _ = make_net()
+    state = with_faults(net)
+    state.set_burst_loss(GEParams(good_mean=1.0, bad_mean=1.0, loss_bad=1.0))
+    net.send(a, b, "x")
+    net.send(b, a, "y")
+    sim.run()
+    assert set(state._links) <= {(a, b), (b, a)}
+    assert len(state._links) == 2
+
+
+def test_jitter_defers_but_never_loses():
+    sim, net, (a, b), inboxes = make_net(delay=0.05)
+    state = with_faults(net)
+    state.set_jitter(JitterParams(jitter=0.05))
+    for _ in range(100):
+        net.send(a, b, "j")
+    sim.run()
+    assert len(inboxes[b]) == 100
+    assert net.messages_lost == 0
+    assert 0.05 <= sim.now <= 0.10  # last arrival inside the jitter window
+
+
+# ----------------------------------------------------------------------
+# FaultSchedule
+# ----------------------------------------------------------------------
+def test_schedule_applies_and_reverts_at_the_right_times():
+    sim, net, (a, b), inboxes = make_net()
+    schedule = FaultSchedule(
+        [FaultEvent(Partition(fraction=0.5), start=10.0, duration=5.0)]
+    )
+    state = schedule.install(sim, net, random.Random(4), offset=2.0)
+
+    probe_log = []
+
+    def probe(tag):
+        net.send(a, b, tag)
+
+    sim.schedule(11.0, probe, "before")  # < 12.0 = offset + start
+    sim.schedule(13.0, probe, "during")  # inside [12, 17)
+    sim.schedule(17.5, probe, "after")  # >= 17.0 = offset + end
+    sim.run()
+
+    delivered = [msg for _, msg in inboxes[b]]
+    assert "before" in delivered and "after" in delivered
+    # The 50% split of a two-address population cuts a from b.
+    assert "during" not in delivered
+    assert not state.partitioned
+
+
+def test_schedule_validation_and_introspection():
+    with pytest.raises(ValueError):
+        FaultEvent(Partition(), start=-1.0, duration=5.0)
+    with pytest.raises(ValueError):
+        FaultEvent(Partition(), start=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        Partition(fraction=0.0)
+    with pytest.raises(ValueError):
+        Partition(n_groups=1)
+    with pytest.raises(ValueError):
+        GrayFailures(fraction=1.5)
+
+    schedule = FaultSchedule(
+        [
+            FaultEvent(LinkJitter(JitterParams(jitter=0.01)), start=5.0, duration=1.0),
+            FaultEvent(Partition(), start=0.0, duration=2.0),
+        ]
+    )
+    assert len(schedule) == 2
+    assert schedule.windows() == [(0.0, 2.0), (5.0, 6.0)]  # sorted by start
+    assert schedule.last_end == 6.0
+    assert "Partition" in schedule.describe()
+    assert "LinkJitter" in schedule.describe()
+
+
+def test_gray_fraction_targets_registered_addresses_deterministically():
+    sim1, net1, _, _ = make_net(n=10, seed=5)
+    sim2, net2, _, _ = make_net(n=10, seed=5)
+    schedule = FaultSchedule(
+        [FaultEvent(GrayFailures(fraction=0.3), start=0.0, duration=1.0)]
+    )
+    s1 = schedule.install(sim1, net1, random.Random(8))
+    s2 = schedule.install(sim2, net2, random.Random(8))
+    sim1.run(until=0.5)
+    sim2.run(until=0.5)
+    assert set(s1._gray) == set(s2._gray)
+    assert len(s1._gray) == 3
+
+
+# ----------------------------------------------------------------------
+# Transport counters and loss_rate guard (satellite fixes)
+# ----------------------------------------------------------------------
+def test_counters_split_sent_lost_delivered():
+    sim, net, (a, b), inboxes = make_net(loss=0.0)
+    state = with_faults(net)
+    state.set_gray(a, GrayFailure.stuck())
+    net.send(a, b, "lost-to-fault")
+    net.send(b, a, "delivered")
+    net.deregister(b)
+    net.send(a, b, "dead")  # also dropped by the gray fault or dead address
+    sim.run()
+
+    assert net.messages_sent == 3
+    assert net.messages_delivered == 1
+    assert net.messages_lost == net.messages_lost_faults == state.drops["gray"]
+    assert (
+        net.messages_lost + net.messages_delivered + net.messages_dropped_dead
+        == net.messages_sent
+    )
+
+
+def test_loss_rate_property_validates_mutation():
+    sim, net, _, _ = make_net()
+    net.loss_rate = 0.5  # mid-run sweeps may retune it
+    assert net.loss_rate == 0.5
+    with pytest.raises(ValueError):
+        net.loss_rate = 1.0
+    with pytest.raises(ValueError):
+        net.loss_rate = -0.01
+    with pytest.raises(ValueError):
+        Network(sim, UniformDelayTopology(0.05), random.Random(1), loss_rate=2.0)

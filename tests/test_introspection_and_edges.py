@@ -5,8 +5,7 @@ import random
 from repro.overlay.utils import build_overlay
 from repro.pastry import messages as m
 from repro.pastry.config import PastryConfig
-from repro.pastry.node import MSPastryNode
-from repro.pastry.nodeid import NodeDescriptor, random_nodeid
+from repro.pastry.nodeid import random_nodeid
 
 
 def overlay(seed=1101, **cfg):

@@ -1,6 +1,5 @@
 """Protocol tests: joining and the consistency machinery (paper §3.1)."""
 
-import random
 
 from repro.network.simple import UniformDelayTopology
 from repro.network.transport import Network

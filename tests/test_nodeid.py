@@ -5,7 +5,6 @@ import random
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.pastry import nodeid
 from repro.pastry.nodeid import (
     ID_BITS,
     ID_SPACE,

@@ -1,6 +1,5 @@
 """Protocol tests: proximity neighbour selection (paper §4.2)."""
 
-import random
 
 from repro.network.simple import EuclideanTopology
 from repro.overlay.utils import build_overlay
@@ -167,11 +166,9 @@ def test_maintenance_requests_rows():
 
 
 def test_pns_disabled_no_distance_probes():
-    from repro.pastry.messages import DistanceProbe
 
     config = PastryConfig(leaf_set_size=8, pns=False)
     topology = EuclideanTopology()
-    import repro.network.transport as tr
 
     sim, net, nodes = build_overlay(10, config=config, topology=topology, seed=73)
     # No proximity state anywhere.

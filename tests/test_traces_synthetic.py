@@ -5,7 +5,7 @@ import statistics
 
 import pytest
 
-from repro.traces.events import ARRIVAL, FAILURE
+from repro.traces.events import ARRIVAL
 from repro.traces.synthetic import generate_poisson_trace
 
 
