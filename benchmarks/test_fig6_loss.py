@@ -25,9 +25,9 @@ def test_fig6_loss_sweep(benchmark):
         assert row["loss"] < 2e-3, loss_rate
     # No inconsistent deliveries without link loss; only a small probability
     # at high loss rates (paper: 0 at <=1%, 1.6e-5 at 5%).
-    assert rows[0.0]["incorrect"] == 0.0
-    assert rows[0.05]["incorrect"] < 5e-3
+    assert rows["0"]["incorrect"] == 0.0
+    assert rows["0.05"]["incorrect"] < 5e-3
     # Control traffic increases with the loss rate (extra probes/retries).
-    assert rows[0.05]["control"] >= rows[0.0]["control"]
+    assert rows["0.05"]["control"] >= rows["0"]["control"]
     # RDP degrades gracefully, not catastrophically.
-    assert rows[0.05]["rdp"] < 4 * rows[0.0]["rdp"]
+    assert rows["0.05"]["rdp"] < 4 * rows["0"]["rdp"]

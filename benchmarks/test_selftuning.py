@@ -14,7 +14,7 @@ def test_selftuning_targets(benchmark):
     save_report("selftuning", selftuning.format_report(result))
 
     rows = result["rows"]
-    hi, lo = rows[0.05], rows[0.01]
+    hi, lo = rows["0.05"], rows["0.01"]
     # A tighter target yields a lower measured loss rate...
     assert lo["measured_loss"] <= hi["measured_loss"]
     # ...at a higher control-traffic cost (paper: 2.6x going 5% -> 1%).

@@ -6,19 +6,36 @@ Usage::
     python -m repro.cli run fig6 --seed 7
     python -m repro.cli run topologies --scale 0.1 --duration 3600
     python -m repro.cli run all
+    python -m repro.cli sweep examples/sweeps/fig6_seeds.json --jobs 4 --out out/fig6
+    python -m repro.cli report out/fig6
 
 ``--scale`` and ``--duration`` map onto each experiment's scale parameters
 where applicable (trace population scale and simulated seconds).
+
+``sweep`` expands a JSON sweep spec (see ``repro.harness.spec``) into
+independent jobs, fans them out over ``--jobs`` worker processes, and writes
+one JSON artifact per run plus a manifest under ``--out``.  Re-invoking the
+same sweep resumes it (completed runs are skipped; ``--force`` re-runs
+them).  ``report`` aggregates a sweep directory across seeds (mean/CI).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.harness import (
+    SpecError,
+    StoreError,
+    SweepProgress,
+    SweepSpec,
+    format_sweep_report,
+    run_sweep,
+)
 
 
 def _kwargs_for(module, args) -> dict:
@@ -37,6 +54,11 @@ def _kwargs_for(module, args) -> dict:
     return kwargs
 
 
+def _fail(message: str, status: int = 1) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return status
+
+
 def run_experiment(name: str, args) -> int:
     module = ALL_EXPERIMENTS.get(name)
     if module is None:
@@ -45,10 +67,51 @@ def run_experiment(name: str, args) -> int:
         return 2
     kwargs = _kwargs_for(module, args)
     started = time.time()
-    result = module.run(**kwargs)
+    try:
+        result = module.run(**kwargs)
+    except Exception as exc:
+        return _fail(f"{name}: {type(exc).__name__}: {exc}")
     elapsed = time.time() - started
     print(module.format_report(result))
     print(f"\n[{name} finished in {elapsed:.1f}s]")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    try:
+        spec = SweepSpec.from_file(args.spec)
+    except SpecError as exc:
+        return _fail(str(exc), status=2)
+    if spec.experiment not in ALL_EXPERIMENTS:
+        return _fail(
+            f"spec names unknown experiment {spec.experiment!r}; "
+            f"try: {', '.join(ALL_EXPERIMENTS)}", status=2)
+    jobs = spec.expand()
+    progress = SweepProgress(len(jobs), workers=args.jobs, enabled=not args.quiet)
+    try:
+        outcome = run_sweep(
+            spec, args.out, jobs=args.jobs, timeout=args.timeout,
+            force=args.force, progress=progress,
+        )
+    except StoreError as exc:
+        return _fail(str(exc), status=2)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — completed runs are kept; re-invoke the same "
+              f"command to resume into {args.out}", file=sys.stderr)
+        return 130
+    print(progress.summary(skipped=len(outcome.skipped)), file=sys.stderr)
+    print(f"artifacts: {args.out}", file=sys.stderr)
+    if outcome.failed:
+        return _fail(f"{len(outcome.failed)} run(s) failed — see "
+                     f"`python -m repro.cli report {args.out}`")
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        print(format_sweep_report(args.dir, metrics=args.metrics))
+    except StoreError as exc:
+        return _fail(str(exc), status=2)
     return 0
 
 
@@ -59,6 +122,7 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
     runner = sub.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", help="experiment name or 'all'")
     runner.add_argument("--seed", type=int, default=None)
@@ -66,6 +130,28 @@ def main(argv=None) -> int:
                         help="trace population scale (fraction of the paper's)")
     runner.add_argument("--duration", type=float, default=None,
                         help="simulated seconds")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter sweep from a JSON spec")
+    sweep.add_argument("spec", help="path to a sweep spec (JSON)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1)")
+    sweep.add_argument("--out", required=True,
+                       help="output directory for artifacts + manifest")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-run jobs whose artifacts already exist")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    report = sub.add_parser(
+        "report", help="aggregate a sweep directory (mean/CI across seeds)")
+    report.add_argument("dir", help="sweep output directory")
+    report.add_argument("--metric", action="append", dest="metrics",
+                        metavar="SUBSTR",
+                        help="only metrics containing SUBSTR (repeatable)")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -73,6 +159,10 @@ def main(argv=None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:12s} {doc}")
         return 0
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "report":
+        return cmd_report(args)
 
     if args.experiment == "all":
         status = 0
@@ -84,4 +174,10 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; silence the traceback
+        # and exit like a well-behaved filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -2,7 +2,10 @@
 
 Every module exposes ``run(...) -> dict`` returning the figure's data and a
 ``format_report(result) -> str`` that prints the same rows/series the paper
-reports.  All experiments are scale-parameterised: the defaults finish in
+reports.  Results are JSON-round-trippable dicts (string keys, lists,
+finite numbers — see ``repro.experiments.resultio``) so the sweep harness
+(``repro.harness``) can persist them as per-run artifacts and re-render or
+aggregate them from disk.  All experiments are scale-parameterised: the defaults finish in
 tens of seconds on a laptop; pass larger ``scale``/``duration`` values to
 approach the paper's full setups (see DESIGN.md on the scale substitution).
 

@@ -12,6 +12,7 @@ import statistics
 from typing import Dict
 
 from repro.experiments.reporting import downsample, format_series, format_table
+from repro.experiments.resultio import as_pairs
 from repro.sim.rng import RngStreams
 from repro.traces.analysis import failure_rate_series
 from repro.traces.realworld import (
@@ -35,7 +36,7 @@ def run(seed: int = 42, scale: float = 0.1,
             streams.stream(f"trace-{name}"), model, scale=trace_scale
         )
         times, rates = failure_rate_series(trace, model.analysis_window)
-        series = list(zip(times, rates))
+        series = as_pairs(zip(times, rates))
         positive = [r for r in rates if r > 0]
         result["series"][name] = series
         result["summary"][name] = {

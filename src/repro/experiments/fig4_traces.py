@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.reporting import downsample, format_series, format_table
+from repro.experiments.resultio import as_pairs
 from repro.experiments.scenarios import Scenario
 from repro.sim.rng import RngStreams
 from repro.traces.realworld import (
@@ -58,11 +59,14 @@ def run(
             "control": stats.control_traffic_rate(),
             "loss": stats.loss_rate(),
             "incorrect": stats.incorrect_delivery_rate(),
-            "rdp_series": stats.rdp_series(),
-            "control_series": stats.control_traffic_series(),
+            "rdp_series": as_pairs(stats.rdp_series()),
+            "control_series": as_pairs(stats.control_traffic_series()),
         }
         if name == "gnutella":
-            result["breakdown"] = stats.control_breakdown_series()
+            result["breakdown"] = {
+                category: as_pairs(series)
+                for category, series in stats.control_breakdown_series().items()
+            }
     return result
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.reporting import format_table
+from repro.experiments.resultio import num_key
 from repro.experiments.scenarios import Scenario
 from repro.metrics.cdf import cdf_points
 from repro.sim.rng import RngStreams
@@ -27,8 +28,8 @@ def run(
     session_minutes=SESSION_MINUTES,
     topology_scale: float = 0.25,
 ) -> Dict:
-    rows: Dict[int, Dict] = {}
-    cdfs: Dict[int, List] = {}
+    rows: Dict[str, Dict] = {}
+    cdfs: Dict[str, List] = {}
     for minutes in session_minutes:
         scenario = Scenario(seed=seed, topology_scale=topology_scale)
         runner = scenario.build_runner()
@@ -40,7 +41,7 @@ def run(
             name=f"poisson-{minutes}m",
         )
         result = runner.run(trace)
-        rows[minutes] = {
+        rows[num_key(minutes)] = {
             "rdp": result.rdp,
             "rdp_median": result.rdp_median,
             "control": result.control_traffic,
@@ -50,7 +51,7 @@ def run(
             "joins": len(result.stats.join_latencies),
         }
         if minutes in (5, 30):
-            cdfs[minutes] = cdf_points(result.stats.join_latencies)
+            cdfs[num_key(minutes)] = cdf_points(result.stats.join_latencies)
     return {"rows": rows, "join_cdfs": cdfs}
 
 

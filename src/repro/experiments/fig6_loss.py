@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.reporting import format_table
+from repro.experiments.resultio import num_key
 from repro.experiments.scenarios import Scenario
 
 LOSS_RATES = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
@@ -26,7 +27,7 @@ def run(
     for loss in loss_rates:
         scenario = Scenario(seed=seed, loss_rate=loss)
         result = scenario.run_gnutella(scale=trace_scale, duration=duration)
-        rows[loss] = {
+        rows[num_key(loss)] = {
             "rdp": result.rdp,
             "rdp_median": result.rdp_median,
             "control": result.control_traffic,
@@ -40,7 +41,7 @@ def run(
 def format_report(result: Dict) -> str:
     rows = [
         (
-            f"{loss:.0%}",
+            f"{float(loss):.0%}",
             row["rdp"],
             row["rdp_median"],
             row["control"],

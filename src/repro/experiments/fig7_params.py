@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.reporting import format_table
+from repro.experiments.resultio import num_key
 from repro.experiments.scenarios import Scenario
 from repro.pastry.config import PastryConfig
 
@@ -34,7 +35,7 @@ def run(
         result = scenario.run_gnutella(scale=trace_scale, duration=duration)
         stats = result.stats
         node_seconds = stats.active.total_node_seconds or 1.0
-        l_rows[leaf_size] = {
+        l_rows[num_key(leaf_size)] = {
             "control": result.control_traffic,
             "heartbeat_traffic": stats.sent_total.get("heartbeats", 0)
             / node_seconds,
@@ -46,7 +47,7 @@ def run(
     for b in b_values:
         scenario = Scenario(seed=seed, config=PastryConfig(b=b))
         result = scenario.run_gnutella(scale=trace_scale, duration=duration)
-        b_rows[b] = {
+        b_rows[num_key(b)] = {
             "control": result.control_traffic,
             "rdp": result.rdp,
             "hops": result.stats.mean_hops(),

@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 
 from repro.apps.squirrel import SquirrelProxy, WebOrigin
 from repro.experiments.reporting import downsample, format_series
+from repro.experiments.resultio import as_pairs
 from repro.network.corpnet import CorpNetTopology
 from repro.overlay.runner import OverlayRunner
 from repro.pastry.config import PastryConfig
@@ -29,7 +30,7 @@ from repro.traces.squirrel import SquirrelTrace, generate_squirrel_trace
 
 def _simulate(
     trace: SquirrelTrace, seed: int, stats_window: float
-) -> Tuple[List[Tuple[float, float]], Dict]:
+) -> Tuple[List[List[float]], Dict]:
     streams = RngStreams(seed)
     topology = CorpNetTopology(streams.stream("topology"), n_sites=2,
                                routers_per_site=20)
@@ -58,7 +59,7 @@ def _simulate(
             sim.schedule(t0 + t, fire, trace_node, url)
 
     result = runner.run(trace.churn, extra_schedule=schedule_requests)
-    series = result.stats.total_traffic_series()
+    series = as_pairs(result.stats.total_traffic_series())
     summary = {
         "requests": sum(p.requests for p in proxies.values()),
         "local_hits": sum(p.local_hits for p in proxies.values()),
@@ -95,7 +96,7 @@ def run(
     }
 
 
-def _correlation(a: List[Tuple[float, float]], b: List[Tuple[float, float]]) -> float:
+def _correlation(a: List[List[float]], b: List[List[float]]) -> float:
     """Pearson correlation of the two traffic series (aligned windows)."""
     values_a = {t: v for t, v in a}
     paired = [(values_a[t], v) for t, v in b if t in values_a]

@@ -41,8 +41,12 @@ def format_series(
 
 
 def downsample(series: List[Tuple[float, float]], max_points: int = 24):
-    """Thin a series for terminal display."""
-    if len(series) <= max_points:
+    """Thin a series for terminal display.
+
+    Keeps both endpoints — the final sample carries the end state of the
+    run, which the old stride-based thinning could silently drop.
+    """
+    if len(series) <= max_points or max_points < 2:
         return series
-    step = len(series) / max_points
-    return [series[int(i * step)] for i in range(max_points)]
+    step = (len(series) - 1) / (max_points - 1)
+    return [series[round(i * step)] for i in range(max_points)]

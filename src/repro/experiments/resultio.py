@@ -1,0 +1,77 @@
+"""JSON round-trip helpers for experiment results.
+
+Every experiment's ``run()`` returns a plain dict that survives a JSON
+round-trip unchanged (``json.loads(json.dumps(r)) == r``): string keys only,
+lists rather than tuples, finite numbers, strings, booleans and ``None``.
+That contract is what lets the sweep harness (``repro.harness``) persist one
+artifact per run and later re-render reports or aggregate across seeds from
+the files alone.
+
+Helpers here enforce and ease that contract:
+
+* :func:`to_jsonable` — normalise a result (tuples → lists) and reject
+  anything that would not round-trip,
+* :func:`dumps_canonical` — deterministic serialization (sorted keys) so the
+  same result always produces byte-identical artifacts,
+* :func:`num_key` — canonical string form of a numeric sweep axis, used as a
+  dict key (``0.05`` → ``"0.05"``, ``30`` → ``"30"``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+__all__ = ["to_jsonable", "dumps_canonical", "num_key", "as_pairs"]
+
+
+def num_key(value) -> str:
+    """Canonical string key for a numeric axis value (round-trips via float)."""
+    if isinstance(value, bool):
+        raise TypeError("bool is not a sweep-axis value")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, "g")
+    raise TypeError(f"not a numeric key: {value!r}")
+
+
+def as_pairs(series) -> list:
+    """Normalise a ``[(t, v), ...]`` time series to JSON-clean ``[[t, v], ...]``."""
+    return [[float(t), float(v)] for t, v in series]
+
+
+def to_jsonable(obj: Any, path: str = "$") -> Any:
+    """Return a copy of ``obj`` that round-trips through JSON unchanged.
+
+    Tuples become lists.  Non-finite floats become ``None`` (JSON has no
+    NaN/Infinity, and Python's permissive encoder would otherwise emit
+    tokens that break strict parsers).  Non-string dict keys and unknown
+    types raise ``TypeError`` naming the offending path.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"non-string dict key {key!r} at {path} — use "
+                    f"resultio.num_key() for numeric sweep axes"
+                )
+            out[key] = to_jsonable(value, f"{path}.{key}")
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v, f"{path}[{i}]") for i, v in enumerate(obj)]
+    raise TypeError(f"not JSON-serializable at {path}: {type(obj).__name__}")
+
+
+def dumps_canonical(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, ASCII only."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, indent=1,
+                      ensure_ascii=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.reporting import format_table
+from repro.experiments.resultio import num_key
 from repro.experiments.scenarios import Scenario
 from repro.pastry.config import PastryConfig
 
@@ -32,7 +33,7 @@ def run(
         )
         scenario = Scenario(seed=seed, config=config)
         result = scenario.run_gnutella(scale=trace_scale, duration=duration)
-        rows[target] = {
+        rows[num_key(target)] = {
             "measured_loss": result.loss_rate,
             "control": result.control_traffic,
             "rdp": result.rdp,
@@ -42,7 +43,7 @@ def run(
 
 def format_report(result: Dict) -> str:
     rows = [
-        (f"{target:.0%}", r["measured_loss"], r["control"], r["rdp"])
+        (f"{float(target):.0%}", r["measured_loss"], r["control"], r["rdp"])
         for target, r in result["rows"].items()
     ]
     parts = [
@@ -54,7 +55,8 @@ def format_report(result: Dict) -> str:
         hi, lo = result["rows"][targets[0]], result["rows"][targets[1]]
         if hi["control"] > 0:
             parts.append(
-                f"\ncontrol traffic ratio {targets[1]:.0%} vs {targets[0]:.0%}: "
+                f"\ncontrol traffic ratio {float(targets[1]):.0%} vs "
+                f"{float(targets[0]):.0%}: "
                 f"{lo['control'] / hi['control']:.2f}x (paper: 2.6x)"
             )
     return "\n".join(parts)

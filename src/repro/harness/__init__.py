@@ -1,0 +1,39 @@
+"""Parallel sweep harness: spec → jobs → artifacts → aggregation.
+
+``repro.harness`` fans an experiment sweep out across worker processes,
+persists one schema-versioned JSON artifact per run plus a sweep manifest,
+resumes interrupted sweeps by skipping completed runs, and aggregates
+artifacts back into the repo's reporting tables (mean/CI across seeds).
+See DESIGN.md §8 for the architecture and determinism guarantees, and
+``python -m repro.cli sweep --help`` for the command-line entry point.
+"""
+
+from repro.harness.aggregate import format_sweep_report, group_runs, mean_ci95
+from repro.harness.executor import SweepOutcome, execute_job, run_sweep
+from repro.harness.progress import SweepProgress
+from repro.harness.spec import (
+    RunSpec,
+    SpecError,
+    SweepSpec,
+    derive_run_seed,
+    make_run_id,
+)
+from repro.harness.store import ResultStore, StoreError, make_artifact
+
+__all__ = [
+    "RunSpec",
+    "SweepSpec",
+    "SpecError",
+    "StoreError",
+    "SweepOutcome",
+    "SweepProgress",
+    "ResultStore",
+    "derive_run_seed",
+    "execute_job",
+    "format_sweep_report",
+    "group_runs",
+    "make_artifact",
+    "make_run_id",
+    "mean_ci95",
+    "run_sweep",
+]

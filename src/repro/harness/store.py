@@ -1,0 +1,179 @@
+"""On-disk sweep artifacts: one JSON file per run plus a sweep manifest.
+
+Layout of a sweep output directory::
+
+    <out>/
+      manifest.json          # spec + spec hash + per-run statuses
+      runs/
+        <run_id>.json        # one schema-versioned artifact per run
+
+Artifacts are the ground truth: resume scans them (a run whose artifact has
+``status == "ok"`` is never re-executed), the manifest is a derived summary
+refreshed from them.  All writes are atomic (temp file + ``os.replace``) so
+a killed sweep never leaves a half-written artifact that a later resume
+would mistake for a completed run.  Artifact bytes are canonical (sorted
+keys) so identical results produce identical files regardless of worker
+count or execution order; the only non-deterministic fields live under the
+``"timing"`` key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.resultio import dumps_canonical
+
+from repro.harness.spec import SweepSpec
+
+ARTIFACT_SCHEMA = 1
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class StoreError(RuntimeError):
+    """The output directory cannot be (re)used for this sweep."""
+
+
+def make_artifact(job, status: str, result=None, error: Optional[Dict] = None,
+                  timing: Optional[Dict] = None) -> Dict:
+    """Assemble one run's artifact document (see module docstring)."""
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "run_id": job.run_id,
+        "experiment": job.experiment,
+        "params": job.params,
+        "seed": job.seed,
+        "derived_seed": job.derived_seed,
+        "status": status,
+        "result": result,
+        "error": error,
+        "timing": timing or {},
+    }
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Reads and writes one sweep's artifacts and manifest."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+
+    # -- sweep lifecycle ----------------------------------------------
+    def init_sweep(self, spec: SweepSpec, run_ids: List[str],
+                   force: bool = False) -> None:
+        """Prepare the directory; refuse to mix two different sweeps.
+
+        A manifest from a previous invocation must carry the same spec hash
+        (the resume case).  ``force`` does not override a *mismatched* spec —
+        it only forces completed runs of the *same* sweep to re-execute —
+        so one sweep can never silently clobber another's artifacts.
+        """
+        existing = self.load_manifest()
+        if existing is not None and existing.get("spec_hash") != spec.spec_hash():
+            raise StoreError(
+                f"{self.root} already holds sweep "
+                f"{existing.get('name', '?')!r} with a different spec — "
+                f"use a fresh --out directory"
+            )
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.write_manifest(spec, run_ids)
+
+    def write_manifest(self, spec: SweepSpec, run_ids: List[str]) -> None:
+        statuses = self.run_statuses()
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "name": spec.name,
+            "experiment": spec.experiment,
+            "spec": spec.to_json(),
+            "spec_hash": spec.spec_hash(),
+            "runs": {run_id: statuses.get(run_id, "pending")
+                     for run_id in run_ids},
+        }
+        _atomic_write(self.root / self.MANIFEST,
+                      dumps_canonical(manifest) + "\n")
+
+    def refresh_manifest(self) -> Dict:
+        """Re-derive per-run statuses from the artifacts on disk."""
+        manifest = self.load_manifest()
+        if manifest is None:
+            raise StoreError(f"{self.root} has no manifest")
+        statuses = self.run_statuses()
+        manifest["runs"] = {run_id: statuses.get(run_id, "pending")
+                            for run_id in manifest["runs"]}
+        _atomic_write(self.root / self.MANIFEST,
+                      dumps_canonical(manifest) + "\n")
+        return manifest
+
+    def load_manifest(self) -> Optional[Dict]:
+        path = self.root / self.MANIFEST
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path} is corrupt: {exc}") from exc
+
+    # -- artifacts -----------------------------------------------------
+    def artifact_path(self, run_id: str) -> Path:
+        return self.runs_dir / f"{run_id}.json"
+
+    def write_artifact(self, artifact: Dict) -> Path:
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.artifact_path(artifact["run_id"])
+        _atomic_write(path, dumps_canonical(artifact) + "\n")
+        return path
+
+    def read_artifact(self, run_id: str) -> Optional[Dict]:
+        """The run's artifact, or ``None`` if missing/invalid/wrong schema."""
+        try:
+            with open(self.artifact_path(run_id), encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if not isinstance(artifact, dict) or \
+                artifact.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        return artifact
+
+    def list_artifacts(self) -> List[Dict]:
+        """All readable artifacts, ordered by run id."""
+        if not self.runs_dir.is_dir():
+            return []
+        artifacts = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            artifact = self.read_artifact(path.stem)
+            if artifact is not None:
+                artifacts.append(artifact)
+        return artifacts
+
+    def run_statuses(self) -> Dict[str, str]:
+        return {a["run_id"]: a.get("status", STATUS_ERROR)
+                for a in self.list_artifacts()}
+
+    def completed_run_ids(self) -> set:
+        """Runs that never need re-execution (successful artifacts)."""
+        return {run_id for run_id, status in self.run_statuses().items()
+                if status == STATUS_OK}

@@ -14,6 +14,19 @@ import random
 from typing import Dict
 
 
+def derive_stream_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for ``name`` from ``master_seed``.
+
+    This is the single seed-derivation rule for the whole reproduction:
+    :class:`RngStreams` uses it for named subsystem streams, and the sweep
+    harness (``repro.harness``) uses it to give every job of a sweep an
+    independent per-run seed, so a sweep's runs are decorrelated yet exactly
+    reproducible regardless of worker count or execution order.
+    """
+    digest = hashlib.sha256(f"{int(master_seed)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngStreams:
     """Factory of deterministic :class:`random.Random` streams.
 
@@ -39,8 +52,7 @@ class RngStreams:
 
     def derive_seed(self, name: str) -> int:
         """Derive a stable 64-bit seed for ``name`` from the master seed."""
-        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
-        return int.from_bytes(digest[:8], "big")
+        return derive_stream_seed(self.master_seed, name)
 
     def spawn(self, name: str) -> "RngStreams":
         """Create an independent child factory (e.g. one per node)."""

@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import argparse
+import inspect
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _kwargs_for, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def cli_args(seed=None, scale=None, duration=None):
+    return argparse.Namespace(seed=seed, scale=scale, duration=duration)
 
 
 def test_list_prints_all_experiments(capsys):
@@ -36,3 +45,102 @@ def test_scale_flag_maps_to_trace_scale(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_experiment_exception_is_one_clean_line(capsys, monkeypatch):
+    def explode(seed=42):
+        raise RuntimeError("deliberate failure")
+
+    monkeypatch.setattr(ALL_EXPERIMENTS["fig3"], "run", explode)
+    assert main(["run", "fig3"]) == 1
+    captured = capsys.readouterr()
+    # One line on stderr, no traceback leaking to the user.
+    assert captured.err.strip().splitlines() == [
+        "error: fig3: RuntimeError: deliberate failure"]
+    assert "Traceback" not in captured.err
+    assert "finished in" not in captured.out
+
+
+# ----------------------------------------------------------------------
+# _kwargs_for: mapping shared flags onto run() signatures
+# ----------------------------------------------------------------------
+def fake_experiment(run):
+    return type("M", (), {"run": staticmethod(run)})
+
+
+def test_kwargs_for_prefers_trace_scale():
+    module = fake_experiment(
+        lambda seed=1, trace_scale=0.1, scale=0.2, duration=10.0: None)
+    kwargs = _kwargs_for(module, cli_args(seed=5, scale=0.3, duration=60.0))
+    assert kwargs == {"seed": 5, "trace_scale": 0.3, "duration": 60.0}
+
+
+def test_kwargs_for_falls_back_to_scale():
+    module = fake_experiment(lambda seed=1, scale=0.2: None)
+    assert _kwargs_for(module, cli_args(scale=0.3)) == {"scale": 0.3}
+
+
+def test_kwargs_for_omits_unsupported_and_unset_flags():
+    module = fake_experiment(lambda n_nodes=10: None)
+    assert _kwargs_for(module, cli_args(seed=5, scale=0.3, duration=9.0)) == {}
+    module = fake_experiment(lambda seed=1, scale=0.2, duration=1.0: None)
+    assert _kwargs_for(module, cli_args()) == {}
+
+
+def test_kwargs_for_real_experiments_accept_mapping():
+    # Every registered experiment must accept what the CLI would pass it.
+    args = cli_args(seed=3, scale=0.05, duration=600.0)
+    for name, module in ALL_EXPERIMENTS.items():
+        kwargs = _kwargs_for(module, args)
+        assert kwargs.get("seed") == 3, name
+        signature = inspect.signature(module.run)
+        for key in kwargs:
+            assert key in signature.parameters, (name, key)
+
+
+# ----------------------------------------------------------------------
+# sweep / report verbs
+# ----------------------------------------------------------------------
+def write_spec(tmp_path, doc):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_sweep_and_report_end_to_end(tmp_path, capsys):
+    spec = write_spec(tmp_path, dict(
+        name="cli-smoke", experiment="fig3",
+        base={"scale": 0.01, "microsoft_scale": 0.002},
+        grid={}, seeds=[1, 2],
+    ))
+    out = str(tmp_path / "out")
+    assert main(["sweep", spec, "--jobs", "1", "--out", out]) == 0
+    err = capsys.readouterr().err
+    assert "[2/2]" in err and "sweep finished: 2/2 ok" in err
+    assert (tmp_path / "out" / "manifest.json").is_file()
+    assert len(list((tmp_path / "out" / "runs").glob("*.json"))) == 2
+
+    # Resume: nothing left to do.
+    assert main(["sweep", spec, "--jobs", "1", "--out", out]) == 0
+    assert "skipped (resume)" in capsys.readouterr().err
+
+    assert main(["report", out]) == 0
+    report = capsys.readouterr().out
+    assert "2 ok, 0 failed" in report
+    assert "summary.gnutella.mean" in report
+
+
+def test_sweep_bad_spec_and_unknown_experiment(tmp_path, capsys):
+    assert main(["sweep", str(tmp_path / "nope.json"),
+                 "--out", str(tmp_path / "o")]) == 2
+    assert "cannot read spec" in capsys.readouterr().err
+
+    spec = write_spec(tmp_path, dict(name="x", experiment="bogus",
+                                     seeds=[1]))
+    assert main(["sweep", spec, "--out", str(tmp_path / "o")]) == 2
+    assert "unknown experiment 'bogus'" in capsys.readouterr().err
+
+
+def test_report_on_missing_dir(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "empty")]) == 2
+    assert "not a sweep directory" in capsys.readouterr().err

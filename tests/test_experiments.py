@@ -2,8 +2,11 @@
 
 The benchmarks run each experiment at reporting scale; these tests only
 verify that every experiment module runs end-to-end, returns the documented
-structure, and formats a report.
+structure (a JSON-round-trippable dict — the sweep-harness contract), and
+formats a report.
 """
+
+import json
 
 import pytest
 
@@ -19,8 +22,14 @@ from repro.experiments import (
     topologies,
 )
 from repro.experiments.reporting import downsample, format_series, format_table
+from repro.experiments.resultio import to_jsonable
 from repro.experiments.scenarios import Scenario, make_topology
 from repro.sim.rng import RngStreams
+
+
+def assert_round_trips(result):
+    """Every experiment result must survive a JSON round-trip unchanged."""
+    assert json.loads(json.dumps(to_jsonable(result))) == result
 
 
 def test_make_topology_names():
@@ -45,6 +54,7 @@ def test_fig3_structure():
     assert set(result["series"]) == {"gnutella", "overnet", "microsoft"}
     for summary in result["summary"].values():
         assert summary["mean"] >= 0.0
+    assert_round_trips(result)
     report = fig3_failure_rates.format_report(result)
     assert "gnutella" in report
 
@@ -52,6 +62,7 @@ def test_fig3_structure():
 def test_topologies_structure():
     result = topologies.run(seed=2, trace_scale=0.012, duration=600.0)
     assert set(result["rows"]) == {"corpnet", "gatech", "mercator"}
+    assert_round_trips(result)
     report = topologies.format_report(result)
     assert "paper-RDP" in report
 
@@ -60,7 +71,8 @@ def test_fig5_structure():
     result = fig5_sessions.run(
         seed=3, n_nodes=25, duration=400.0, session_minutes=(30, 60)
     )
-    assert set(result["rows"]) == {30, 60}
+    assert set(result["rows"]) == {"30", "60"}
+    assert_round_trips(result)
     assert fig5_sessions.format_report(result)
 
 
@@ -68,7 +80,8 @@ def test_fig6_structure():
     result = fig6_loss.run(
         seed=4, trace_scale=0.012, duration=500.0, loss_rates=(0.0, 0.05)
     )
-    assert set(result["rows"]) == {0.0, 0.05}
+    assert set(result["rows"]) == {"0", "0.05"}
+    assert_round_trips(result)
     assert fig6_loss.format_report(result)
 
 
@@ -77,8 +90,9 @@ def test_fig7_structure():
         seed=5, trace_scale=0.012, duration=500.0,
         leaf_sizes=(8, 16), b_values=(2, 4),
     )
-    assert set(result["l"]) == {8, 16}
-    assert set(result["b"]) == {2, 4}
+    assert set(result["l"]) == {"8", "16"}
+    assert set(result["b"]) == {"2", "4"}
+    assert_round_trips(result)
     assert fig7_params.format_report(result)
 
 
@@ -96,6 +110,7 @@ def test_faults_structure():
     assert set(result["burst"]) == {"uniform-3%", "bursty-3%"}
     assert result["burst"]["bursty-3%"]["fault_drops"] > 0
     assert result["burst"]["uniform-3%"]["fault_drops"] == 0
+    assert_round_trips(result)
     report = faults.format_report(result)
     assert "partition/heal" in report
     assert "bursty vs uniform" in report
@@ -105,12 +120,14 @@ def test_faults_structure():
 def test_ablation_structure():
     result = ablation.run(seed=6, trace_scale=0.012, duration=600.0)
     assert set(result["rows"]) == {"neither", "acks-only", "probing-only", "both"}
+    assert_round_trips(result)
     assert ablation.format_report(result)
 
 
 def test_selftuning_structure():
     result = selftuning.run(seed=7, trace_scale=0.012, duration=600.0)
-    assert set(result["rows"]) == {0.05, 0.01}
+    assert set(result["rows"]) == {"0.05", "0.01"}
+    assert_round_trips(result)
     assert selftuning.format_report(result)
 
 
@@ -120,6 +137,7 @@ def test_fig8_structure():
     assert result["simulator"]
     assert result["deployment"]
     assert -1.0 <= result["correlation"] <= 1.0
+    assert_round_trips(result)
     assert fig8_squirrel.format_report(result)
 
 

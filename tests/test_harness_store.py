@@ -1,0 +1,84 @@
+"""Artifact store: atomic canonical writes, manifest, resume bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.harness.spec import RunSpec, SweepSpec
+from repro.harness.store import ResultStore, StoreError, make_artifact
+
+
+def make_spec(**overrides):
+    doc = dict(name="t", experiment="fig3", base={}, grid={}, seeds=[1, 2])
+    doc.update(overrides)
+    return SweepSpec.from_json(doc)
+
+
+def job(run_id="fig3--s1", seed=1):
+    return RunSpec(run_id=run_id, experiment="fig3", params={}, seed=seed,
+                   derived_seed=seed * 1000)
+
+
+def test_write_and_read_artifact(tmp_path):
+    store = ResultStore(tmp_path)
+    artifact = make_artifact(job(), "ok", result={"x": 1.0},
+                             timing={"elapsed_s": 0.1})
+    path = store.write_artifact(artifact)
+    assert path == tmp_path / "runs" / "fig3--s1.json"
+    assert store.read_artifact("fig3--s1") == artifact
+    # Canonical bytes: re-writing the same artifact is byte-identical.
+    before = path.read_bytes()
+    store.write_artifact(artifact)
+    assert path.read_bytes() == before
+    # No temp files left behind.
+    assert sorted(p.name for p in (tmp_path / "runs").iterdir()) == \
+        ["fig3--s1.json"]
+
+
+def test_read_artifact_tolerates_garbage(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.read_artifact("missing") is None
+    store.runs_dir.mkdir(parents=True)
+    (store.runs_dir / "broken.json").write_text("{half")
+    (store.runs_dir / "wrong.json").write_text(json.dumps({"schema": 99}))
+    assert store.read_artifact("broken") is None
+    assert store.read_artifact("wrong") is None
+    assert store.list_artifacts() == []
+
+
+def test_completed_run_ids_only_counts_ok(tmp_path):
+    store = ResultStore(tmp_path)
+    store.write_artifact(make_artifact(job("a--s1"), "ok", result={}))
+    store.write_artifact(make_artifact(
+        job("b--s1"), "error", error={"kind": "exception", "message": "boom"}))
+    assert store.completed_run_ids() == {"a--s1"}
+    assert store.run_statuses() == {"a--s1": "ok", "b--s1": "error"}
+
+
+def test_manifest_lifecycle_and_refresh(tmp_path):
+    spec = make_spec()
+    run_ids = [j.run_id for j in spec.expand()]
+    store = ResultStore(tmp_path)
+    store.init_sweep(spec, run_ids)
+    manifest = store.load_manifest()
+    assert manifest["spec_hash"] == spec.spec_hash()
+    assert manifest["runs"] == {rid: "pending" for rid in run_ids}
+
+    store.write_artifact(make_artifact(job(run_ids[0]), "ok", result={}))
+    refreshed = store.refresh_manifest()
+    assert refreshed["runs"][run_ids[0]] == "ok"
+    assert refreshed["runs"][run_ids[1]] == "pending"
+
+
+def test_init_sweep_rejects_different_spec(tmp_path):
+    store = ResultStore(tmp_path)
+    store.init_sweep(make_spec(), ["a"])
+    with pytest.raises(StoreError, match="different spec"):
+        store.init_sweep(make_spec(seeds=[9]), ["b"])
+    # Same spec is fine (the resume case), even with force.
+    store.init_sweep(make_spec(), ["a"], force=True)
+
+
+def test_refresh_without_manifest_errors(tmp_path):
+    with pytest.raises(StoreError, match="no manifest"):
+        ResultStore(tmp_path).refresh_manifest()

@@ -145,7 +145,7 @@ def test_mean_hops():
 # ----------------------------------------------------------------------
 def test_cdf_points():
     points = cdf_points([3.0, 1.0, 2.0])
-    assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+    assert points == [[1.0, 1 / 3], [2.0, 2 / 3], [3.0, 1.0]]
     assert cdf_points([]) == []
 
 

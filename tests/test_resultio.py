@@ -1,0 +1,52 @@
+"""JSON round-trip helpers behind every experiment result."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.resultio import (
+    as_pairs,
+    dumps_canonical,
+    num_key,
+    to_jsonable,
+)
+
+
+def test_num_key_canonical_forms():
+    assert num_key(0.0) == "0"
+    assert num_key(0.05) == "0.05"
+    assert num_key(30) == "30"
+    assert float(num_key(0.05)) == 0.05
+    with pytest.raises(TypeError):
+        num_key(True)
+    with pytest.raises(TypeError):
+        num_key("5")
+
+
+def test_to_jsonable_tuples_and_round_trip():
+    result = {"rows": {"a": (1, 2.5)}, "flag": True, "none": None}
+    clean = to_jsonable(result)
+    assert clean["rows"]["a"] == [1, 2.5]
+    assert json.loads(json.dumps(clean)) == clean
+
+
+def test_to_jsonable_rejects_bad_keys_and_types():
+    with pytest.raises(TypeError, match="num_key"):
+        to_jsonable({0.05: 1})
+    with pytest.raises(TypeError, match=r"\$\.x\[1\]"):
+        to_jsonable({"x": [1, object()]})
+
+
+def test_to_jsonable_scrubs_non_finite_floats():
+    assert to_jsonable({"a": math.nan, "b": math.inf, "c": 1.0}) == \
+        {"a": None, "b": None, "c": 1.0}
+
+
+def test_dumps_canonical_is_order_independent():
+    assert dumps_canonical({"b": 1, "a": (2,)}) == \
+        dumps_canonical({"a": [2], "b": 1})
+
+
+def test_as_pairs():
+    assert as_pairs(zip((0, 1), (2.5, 3.5))) == [[0.0, 2.5], [1.0, 3.5]]
