@@ -1,0 +1,34 @@
+"""detlint: determinism & simulation-correctness static analysis.
+
+See DESIGN.md §9 for the contract each rule encodes.  Entry points:
+
+* ``python -m repro.cli lint`` — the CLI verb (human/JSON output, baseline)
+* :func:`repro.analysis.runner.lint_paths` — the library API
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineResult,
+    apply_baseline,
+    build_baseline,
+    DEFAULT_BASELINE_NAME,
+)
+from repro.analysis.core import (
+    REGISTRY,
+    AnalysisError,
+    FileContext,
+    Finding,
+    Rule,
+    RuleRegistry,
+    check_file,
+    register,
+)
+from repro.analysis.reporters import render_human, render_json, summarize
+from repro.analysis.runner import (
+    LintReport,
+    ToolOutcome,
+    collect_files,
+    lint_paths,
+    run_all_tools,
+)
+from repro.analysis.suppress import Suppressions, parse_suppressions

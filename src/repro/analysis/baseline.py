@@ -1,0 +1,114 @@
+"""Finding baselines: let pre-existing debt through, block new debt.
+
+A baseline file (``.detlint-baseline.json``, committed to the repo) holds
+fingerprints of findings that predate the linter.  ``repro lint`` fails
+only on findings *not* in the baseline, so wiring detlint into CI never
+requires a big-bang cleanup — while every entry stays visible debt.
+
+Fingerprints hash the rule code, file path and stripped line text (plus an
+occurrence index for duplicate lines), not line numbers, so editing other
+parts of a file does not churn the baseline.  Entries whose finding has
+disappeared are *stale*; ``--write-baseline`` drops them, and the report
+lists them so fixed debt gets retired promptly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import AnalysisError, Finding
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_NAME = ".detlint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The set of accepted (pre-existing) findings."""
+
+    entries: Dict[str, Dict] = field(default_factory=dict)  # fingerprint -> info
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+            raise AnalysisError(
+                f"baseline {path}: unsupported schema "
+                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}")
+        entries = {}
+        for entry in doc.get("entries", []):
+            fingerprint = entry.get("fingerprint")
+            if not fingerprint:
+                raise AnalysisError(f"baseline {path}: entry missing fingerprint")
+            entries[fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [self.entries[fp] for fp in sorted(self.entries)],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                              encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Tuple[str, Finding]]:
+    """Pair each finding with its occurrence-aware fingerprint."""
+    seen: Counter = Counter()
+    out = []
+    for finding in findings:
+        key = (finding.code, finding.path, finding.line_text.strip())
+        out.append((finding.fingerprint(occurrence=seen[key]), finding))
+        seen[key] += 1
+    return out
+
+
+@dataclass
+class BaselineResult:
+    """Findings split against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Dict] = field(default_factory=list)  # entries w/o a finding
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Baseline) -> BaselineResult:
+    result = BaselineResult()
+    matched = set()
+    for fingerprint, finding in fingerprint_findings(findings):
+        if fingerprint in baseline.entries:
+            matched.add(fingerprint)
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    result.stale = [baseline.entries[fp]
+                    for fp in sorted(set(baseline.entries) - matched)]
+    return result
+
+
+def build_baseline(findings: Sequence[Finding]) -> Baseline:
+    """A fresh baseline accepting exactly the given findings."""
+    entries = {}
+    for fingerprint, finding in fingerprint_findings(findings):
+        entries[fingerprint] = {
+            "fingerprint": fingerprint,
+            "code": finding.code,
+            "path": finding.path,
+            "message": finding.message,
+            "line_text": finding.line_text.strip(),
+        }
+    return Baseline(entries=entries)

@@ -1,0 +1,96 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON shape is the CI interface — stable keys, findings sorted by
+(path, line, col, code) — so workflow steps can assert on it without
+scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding
+
+JSON_SCHEMA = 1
+
+
+def _sorted(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def render_human(new: Sequence[Finding],
+                 baselined: Sequence[Finding] = (),
+                 stale: Sequence[Dict] = (),
+                 notes: Sequence[str] = ()) -> str:
+    """Grouped-by-file report with a one-line verdict at the end."""
+    lines: List[str] = []
+    current = None
+    for finding in _sorted(new):
+        if finding.path != current:
+            current = finding.path
+            lines.append(f"{finding.path}:")
+        lines.append(f"  {finding.line}:{finding.col + 1}  "
+                     f"{finding.code} [{finding.severity}]  {finding.message}")
+        if finding.line_text.strip():
+            lines.append(f"      | {finding.line_text.strip()}")
+    for note in notes:
+        lines.append(f"note: {note}")
+    for entry in stale:
+        lines.append(f"stale baseline entry: {entry.get('code')} "
+                     f"{entry.get('path')} ({entry.get('fingerprint')}) — "
+                     f"fixed; run --write-baseline to retire it")
+    verdict = summarize(new, baselined, stale)
+    if lines:
+        lines.append("")
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+def summarize(new: Sequence[Finding], baselined: Sequence[Finding],
+              stale: Sequence[Dict]) -> str:
+    by_code = Counter(f.code for f in new)
+    parts = [f"{len(new)} finding(s)"]
+    if by_code:
+        detail = ", ".join(f"{code} x{count}"
+                           for code, count in sorted(by_code.items()))
+        parts.append(f"({detail})")
+    if baselined:
+        parts.append(f"+ {len(baselined)} baselined")
+    if stale:
+        parts.append(f"+ {len(stale)} stale baseline entr"
+                     f"{'y' if len(stale) == 1 else 'ies'}")
+    return " ".join(parts) if (new or baselined or stale) else \
+        "clean: no findings"
+
+
+def render_json(new: Sequence[Finding],
+                baselined: Sequence[Finding] = (),
+                stale: Sequence[Dict] = (),
+                notes: Sequence[str] = ()) -> str:
+    doc = {
+        "schema": JSON_SCHEMA,
+        "findings": [
+            {
+                "code": f.code,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "line_text": f.line_text.strip(),
+            }
+            for f in _sorted(new)
+        ],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale),
+            "by_code": dict(sorted(Counter(f.code for f in new).items())),
+            "by_severity": dict(sorted(
+                Counter(f.severity for f in new).items())),
+        },
+        "notes": list(notes),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,353 @@
+"""Determinism rules (DET001-DET005).
+
+Each rule encodes one clause of the reproduction's determinism contract
+(DESIGN.md §9): randomness flows from named seeded streams, simulated code
+reads simulated time, and nothing ordering-sensitive consumes an unordered
+collection.  ``src/repro/cli.py`` and ``src/repro/harness/`` sit *outside*
+the simulated world — they time and babysit real processes — so the
+wall-clock and ambient-state rules exempt them explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: path fragments that make up "simulation code" — everything that executes
+#: inside (or builds the inputs of) a deterministic simulation run
+SIM_PACKAGES = (
+    "repro/sim", "repro/pastry", "repro/overlay",
+    "repro/network", "repro/faults", "repro/traces",
+)
+
+#: functions of the `random` module that draw from the shared global RNG
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_AMBIENT = {
+    "os.getenv", "os.urandom", "os.getpid", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbelow",
+}
+
+
+@register
+class NoGlobalRandom(Rule):
+    """DET001: randomness must come from an injected, seeded stream."""
+
+    code = "DET001"
+    name = "no-global-random"
+    severity = "error"
+    description = (
+        "Calls like random.random() draw from the interpreter-global RNG, "
+        "whose state is shared across subsystems and processes; all "
+        "randomness must flow from rng.derive_stream_seed / RngStreams."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target is None:
+                continue
+            head, _, tail = target.partition(".")
+            if head != "random":
+                continue
+            if tail in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"random.{tail}() draws from the global RNG; inject a "
+                    f"random.Random seeded via RngStreams/derive_stream_seed")
+            elif tail == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() without a seed is seeded from the OS; "
+                    "pass a seed derived via derive_stream_seed")
+            elif tail == "SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom draws from the OS entropy pool and "
+                    "can never be replayed")
+
+
+@register
+class NoWallClock(Rule):
+    """DET002: simulation code must read engine time, not the wall clock."""
+
+    code = "DET002"
+    name = "no-wall-clock"
+    severity = "error"
+    description = (
+        "Inside the simulated world, 'now' is Simulator.now; wall-clock "
+        "reads make results depend on host speed and run-to-run timing."
+    )
+    packages = SIM_PACKAGES
+    exempt = ("repro/cli.py", "repro/harness")
+    exempt_reason = (
+        "cli.py times user-facing command execution and repro.harness "
+        "babysits real worker processes (timeouts, ETA, artifact 'timing' "
+        "fields, which the byte-identical guarantee explicitly excludes); "
+        "both measure real elapsed time by design"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() is wall-clock; simulation code must use "
+                    f"the engine's simulated time (Simulator.now)")
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Function-scope tracking of names bound to set-valued expressions."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                return True
+            if isinstance(fn, ast.Attribute) and fn.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference", "copy",
+            ):
+                return self.is_set_expr(fn.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    def note_assign(self, node: ast.AST) -> None:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if self.is_set_expr(value):
+                    self.set_names.add(target.id)
+                else:
+                    self.set_names.discard(target.id)
+
+
+#: method names whose call order is observable (list building, RNG draws,
+#: event scheduling, first-write-wins dict population)
+_ORDER_SENSITIVE_METHODS = {
+    "append", "extend", "insert", "add_edge",
+    "choice", "choices", "sample", "shuffle", "randrange", "randint",
+    "random", "uniform", "expovariate", "gauss", "getrandbits",
+    "schedule", "schedule_at", "call_later", "setdefault", "popitem",
+}
+
+
+@register
+class NoUnorderedIteration(Rule):
+    """DET003: set iteration must not feed ordering-sensitive sinks."""
+
+    code = "DET003"
+    name = "no-unordered-iteration"
+    severity = "error"
+    description = (
+        "Iterating a set (or passing one to list()/tuple()/an RNG method) "
+        "fixes an order the language does not guarantee; wrap the set in "
+        "sorted() before the order can be observed.  Order-insensitive "
+        "consumers (len, sum, min, max, membership, any, all) are fine."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Walk each function/module scope independently so name tracking
+        # never leaks across scopes.
+        scopes = [ctx.tree] + [
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _scope_statements(self, scope: ast.AST):
+        """Statements of this scope, not descending into nested functions."""
+        for stmt in ast.iter_child_nodes(scope):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield stmt
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+        tracker = _SetTracker()
+        body = getattr(scope, "body", [])
+        for stmt in body:
+            yield from self._check_stmt(ctx, tracker, stmt)
+
+    def _check_stmt(self, ctx, tracker: _SetTracker, stmt) -> Iterator[Finding]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        tracker.note_assign(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if tracker.is_set_expr(stmt.iter) and self._body_is_order_sensitive(stmt):
+                yield self.finding(
+                    ctx, stmt.iter,
+                    "iteration over a set feeds an ordering-sensitive "
+                    "operation; iterate sorted(...) instead")
+            for sub in stmt.body + stmt.orelse:
+                yield from self._check_stmt(ctx, tracker, sub)
+            return
+        # direct materialisation / RNG consumption of a set
+        for node in self._walk_stmt(stmt):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if (isinstance(fn, ast.Name) and fn.id in ("list", "tuple")
+                        and len(node.args) == 1
+                        and tracker.is_set_expr(node.args[0])):
+                    yield self.finding(
+                        ctx, node,
+                        f"{fn.id}() of a set fixes an unguaranteed order; "
+                        f"use sorted(...)")
+                elif (isinstance(fn, ast.Attribute)
+                      and fn.attr in ("choice", "choices", "sample", "shuffle")
+                      and node.args and tracker.is_set_expr(node.args[0])):
+                    yield self.finding(
+                        ctx, node,
+                        f".{fn.attr}() over a set draws in an unguaranteed "
+                        f"order; pass sorted(...)")
+        # recurse into compound statements so assignments stay tracked
+        for attr in ("body", "orelse", "finalbody"):
+            for sub in getattr(stmt, attr, []):
+                if isinstance(sub, ast.stmt):
+                    yield from self._check_stmt(ctx, tracker, sub)
+        for handler in getattr(stmt, "handlers", []):
+            for sub in handler.body:
+                yield from self._check_stmt(ctx, tracker, sub)
+
+    def _walk_stmt(self, stmt):
+        """Expression nodes of one statement, skipping nested statements."""
+        todo = [
+            n for n in ast.iter_child_nodes(stmt)
+            if not isinstance(n, ast.stmt)
+        ]
+        while todo:
+            node = todo.pop()
+            yield node
+            todo.extend(
+                n for n in ast.iter_child_nodes(node)
+                if not isinstance(n, ast.stmt)
+            )
+
+    def _body_is_order_sensitive(self, loop: ast.For) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Attribute) and \
+                        fn.attr in _ORDER_SENSITIVE_METHODS:
+                    return True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+        return False
+
+
+@register
+class NoMutableDefaults(Rule):
+    """DET004: no mutable default arguments."""
+
+    code = "DET004"
+    name = "no-mutable-default"
+    severity = "error"
+    description = (
+        "A mutable default is created once and shared by every call; state "
+        "leaks between runs that should be independent."
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "Counter", "OrderedDict", "deque"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); "
+                        f"default to None and create inside the body")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+
+@register
+class NoAmbientState(Rule):
+    """DET005: no ambient process state in simulation code."""
+
+    code = "DET005"
+    name = "no-ambient-state"
+    severity = "error"
+    description = (
+        "Environment variables, OS entropy, pids and UUIDs differ between "
+        "hosts and runs; simulation inputs must come from the spec/seed."
+    )
+    packages = SIM_PACKAGES
+    exempt = ("repro/cli.py", "repro/harness")
+    exempt_reason = (
+        "the CLI and the sweep harness run in the real world (process "
+        "management, user environment); they keep ambient state out of "
+        "artifact *content* by construction"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = ctx.resolve_call(node.func)
+                if target in _AMBIENT:
+                    yield self.finding(
+                        ctx, node,
+                        f"{target}() reads ambient process state; thread "
+                        f"the value in from the experiment spec instead")
+                elif target is not None and target.startswith("os.environ."):
+                    yield self.finding(
+                        ctx, node,
+                        "os.environ access in simulation code; pass "
+                        "configuration through the experiment spec")
+            elif isinstance(node, ast.Subscript):
+                target = ctx.resolve_call(node.value)
+                if target == "os.environ":
+                    yield self.finding(
+                        ctx, node,
+                        "os.environ access in simulation code; pass "
+                        "configuration through the experiment spec")

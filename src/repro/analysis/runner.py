@@ -1,0 +1,161 @@
+"""Orchestration: scan a tree, run every rule, apply suppressions + baseline.
+
+This is what the ``repro lint`` CLI verb calls.  ``lint_paths`` is pure
+(returns a :class:`LintReport`); exit-code policy lives in the CLI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Importing the rule modules registers every rule with the default registry.
+from repro.analysis import rules_determinism  # noqa: F401
+from repro.analysis import rules_simulation  # noqa: F401
+from repro.analysis.baseline import Baseline, BaselineResult, apply_baseline
+from repro.analysis.core import (
+    REGISTRY,
+    AnalysisError,
+    FileContext,
+    Finding,
+    check_file,
+)
+from repro.analysis.suppress import parse_suppressions
+
+#: directories never worth scanning
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build",
+              "dist", ".mypy_cache", ".ruff_cache"}
+
+
+def collect_files(paths: Sequence, root: Optional[Path] = None) -> List[Tuple[str, Path]]:
+    """Expand files/directories into sorted (rel_path, abs_path) pairs.
+
+    ``rel_path`` is posix-style relative to ``root`` (default: the current
+    working directory) when possible, else the path as given — it is the
+    identity used in findings, suppressions and baselines.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    out: Dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.exists():
+            candidates = [path]
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            try:
+                rel = resolved.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            out[rel] = resolved
+    return sorted(out.items())
+
+
+@dataclass
+class LintReport:
+    """Outcome of one detlint run, before exit-code policy."""
+
+    files_scanned: int = 0
+    result: BaselineResult = field(default_factory=BaselineResult)
+    #: all raw findings after suppression, before baseline split
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.result.new)
+
+
+def lint_paths(paths: Sequence, baseline: Optional[Baseline] = None,
+               root: Optional[Path] = None,
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Run every registered rule over ``paths``.
+
+    ``select`` narrows to specific rule codes (used by the self-tests and
+    by ``repro lint --select``).
+    """
+    rules = REGISTRY.rules()
+    if select:
+        unknown = sorted(set(select) - set(REGISTRY.codes()))
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(REGISTRY.codes())}")
+        rules = [r for r in rules if r.code in select]
+
+    report = LintReport()
+    for rel_path, abs_path in collect_files(paths, root=root):
+        try:
+            source = abs_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {rel_path}: {exc}") from exc
+        try:
+            ctx = FileContext.parse(rel_path, source)
+        except SyntaxError as exc:
+            report.findings.append(Finding(
+                code="LINT001", severity="error", path=rel_path,
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}"))
+            report.files_scanned += 1
+            continue
+        report.files_scanned += 1
+        suppressions = parse_suppressions(rel_path, source)
+        for finding in check_file(ctx, rules):
+            if suppressions.matches(finding):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+        # malformed/unjustified directives are findings in their own right
+        report.findings.extend(suppressions.problems)
+        report.notes.extend(suppressions.unused())
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    report.result = apply_baseline(report.findings, baseline or Baseline())
+    return report
+
+
+# ----------------------------------------------------------------------
+# `repro lint --all`: one entry point for every static check we run in CI
+# ----------------------------------------------------------------------
+
+@dataclass
+class ToolOutcome:
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    detail: str = ""
+
+
+def _run_external(name: str, args: List[str]) -> ToolOutcome:
+    """Run an optional external tool, skipping cleanly if absent."""
+    try:
+        proc = subprocess.run([sys.executable, "-m", name, *args],
+                              capture_output=True, text=True)
+    except OSError as exc:  # pragma: no cover - exotic interpreter issues
+        return ToolOutcome(name, "skipped", f"cannot launch: {exc}")
+    if proc.returncode == 0:
+        return ToolOutcome(name, "ok")
+    # "No module named X" => the tool is not installed in this environment;
+    # CI installs it, local runs degrade to detlint-only.
+    if f"No module named {name}" in (proc.stderr or ""):
+        return ToolOutcome(name, "skipped", "not installed")
+    tail = "\n".join(
+        ((proc.stdout or "") + (proc.stderr or "")).strip().splitlines()[-20:]
+    )
+    return ToolOutcome(name, "failed", tail)
+
+
+def run_all_tools(mypy_targets: Sequence[str] = ("src/repro/harness",
+                                                 "src/repro/sim")) -> List[ToolOutcome]:
+    """ruff + mypy, for `repro lint --all` (detlint itself runs in-process)."""
+    outcomes = [_run_external("ruff", ["check", "."])]
+    outcomes.append(_run_external("mypy", list(mypy_targets)))
+    return outcomes

@@ -17,6 +17,11 @@ independent jobs, fans them out over ``--jobs`` worker processes, and writes
 one JSON artifact per run plus a manifest under ``--out``.  Re-invoking the
 same sweep resumes it (completed runs are skipped; ``--force`` re-runs
 them).  ``report`` aggregates a sweep directory across seeds (mean/CI).
+
+``lint`` runs detlint (``repro.analysis``) — the determinism &
+simulation-correctness static analysis — over ``src/repro`` (or the given
+paths).  ``--write-baseline`` accepts the current findings as pre-existing
+debt; ``--all`` additionally runs ruff and mypy when they are installed.
 """
 
 from __future__ import annotations
@@ -66,12 +71,16 @@ def run_experiment(name: str, args) -> int:
               file=sys.stderr)
         return 2
     kwargs = _kwargs_for(module, args)
-    started = time.time()
+    # perf_counter, not time.time(): wall clock can step backwards (NTP),
+    # and this is an interval measurement.  Real-clock reads are fine here
+    # at all — the CLI sits outside the simulated world, which is why
+    # DET002 allowlists repro/cli.py (see repro.analysis.rules_determinism).
+    started = time.perf_counter()
     try:
         result = module.run(**kwargs)
     except Exception as exc:
         return _fail(f"{name}: {type(exc).__name__}: {exc}")
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print(module.format_report(result))
     print(f"\n[{name} finished in {elapsed:.1f}s]")
     return 0
@@ -115,6 +124,51 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        AnalysisError,
+        Baseline,
+        build_baseline,
+        lint_paths,
+        render_human,
+        render_json,
+        run_all_tools,
+    )
+
+    status = 0
+    if args.all:
+        for outcome in run_all_tools():
+            if outcome.status == "failed":
+                print(f"[{outcome.name}] FAILED\n{outcome.detail}",
+                      file=sys.stderr)
+                status = 1
+            else:
+                note = f" ({outcome.detail})" if outcome.detail else ""
+                print(f"[{outcome.name}] {outcome.status}{note}",
+                      file=sys.stderr)
+
+    try:
+        baseline = Baseline() if args.no_baseline \
+            else Baseline.load(args.baseline)
+        report = lint_paths(args.paths, baseline=baseline,
+                            select=args.select)
+    except AnalysisError as exc:
+        return _fail(str(exc), status=2)
+
+    if args.write_baseline:
+        build_baseline(report.findings).save(args.baseline)
+        print(f"baseline written: {args.baseline} "
+              f"({len(report.findings)} entr"
+              f"{'y' if len(report.findings) == 1 else 'ies'})",
+              file=sys.stderr)
+        return status
+
+    render = render_json if args.format == "json" else render_human
+    print(render(report.result.new, report.result.baselined,
+                 report.result.stale, report.notes))
+    return 1 if report.failed else status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +206,22 @@ def main(argv=None) -> int:
                         metavar="SUBSTR",
                         help="only metrics containing SUBSTR (repeatable)")
 
+    lint = sub.add_parser(
+        "lint", help="run detlint static analysis (determinism contracts)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories to scan (default: src/repro)")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--baseline", default=".detlint-baseline.json",
+                      help="baseline file (default: .detlint-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, baselined or not")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current findings as pre-existing debt")
+    lint.add_argument("--select", action="append", metavar="CODE",
+                      help="only run the given rule code(s) (repeatable)")
+    lint.add_argument("--all", action="store_true",
+                      help="also run ruff and mypy (skipped if not installed)")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -163,6 +233,8 @@ def main(argv=None) -> int:
         return cmd_sweep(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "lint":
+        return cmd_lint(args)
 
     if args.experiment == "all":
         status = 0

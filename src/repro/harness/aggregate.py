@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 import statistics
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.reporting import format_table
 from repro.experiments.resultio import dumps_canonical
@@ -20,7 +21,7 @@ from repro.experiments.resultio import dumps_canonical
 from repro.harness.store import STATUS_OK, ResultStore, StoreError
 
 
-def flatten_scalars(result, prefix: str = "") -> Dict[str, float]:
+def flatten_scalars(result: Any, prefix: str = "") -> Dict[str, float]:
     """Dotted paths of every numeric scalar leaf in a result dict."""
     out: Dict[str, float] = {}
     if isinstance(result, dict):
@@ -69,7 +70,7 @@ def group_runs(artifacts: List[Dict]) -> List[Dict]:
 def _varying_param_names(groups: List[Dict]) -> List[str]:
     """Parameter names whose values differ between grid points."""
     names = sorted({name for group in groups for name in group["params"]})
-    varying = []
+    varying: List[str] = []
     for name in names:
         values = {dumps_canonical(group["params"].get(name))
                   for group in groups}
@@ -86,7 +87,8 @@ def _group_label(group: Dict, varying: List[str]) -> str:
     return f"{group['experiment']}[{cells}]"
 
 
-def format_sweep_report(out_dir, metrics: Optional[List[str]] = None) -> str:
+def format_sweep_report(out_dir: Union[str, Path],
+                        metrics: Optional[List[str]] = None) -> str:
     """Render one sweep directory: header, aggregate table, failures."""
     store = ResultStore(out_dir)
     manifest = store.load_manifest()
@@ -106,7 +108,7 @@ def format_sweep_report(out_dir, metrics: Optional[List[str]] = None) -> str:
 
     groups = group_runs(artifacts)
     varying = _varying_param_names(groups)
-    rows = []
+    rows: List[Tuple[str, str, int, float, float]] = []
     for group in groups:
         label = _group_label(group, varying)
         for path in sorted(group["metrics"]):

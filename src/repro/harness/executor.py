@@ -26,7 +26,8 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.experiments.resultio import to_jsonable
 
@@ -57,7 +58,7 @@ class SweepOutcome:
         return not self.failed and len(self.ok) + len(self.skipped) == self.total
 
 
-def _registry():
+def _registry() -> Dict[str, Any]:
     # Imported lazily: experiment modules are heavy and worker processes on
     # spawn platforms re-import this module before running anything.
     from repro.experiments import ALL_EXPERIMENTS
@@ -110,7 +111,7 @@ def _status_label(artifact: Dict) -> str:
     return f"{STATUS_ERROR} ({error.get('kind', 'unknown')})"
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods
                                        else "spawn")
@@ -121,7 +122,9 @@ def _run_pool(pending: List[RunSpec], store: ResultStore, jobs: int,
               registry: Optional[Dict]) -> None:
     ctx = _mp_context()
     queue = deque(pending)
-    running: Dict[str, tuple] = {}
+    # run_id -> (process, job, start time); process is whatever class the
+    # chosen start-method context manufactures.
+    running: Dict[str, Tuple[Any, RunSpec, float]] = {}
     try:
         while queue or running:
             while queue and len(running) < jobs:
@@ -178,7 +181,7 @@ def _run_pool(pending: List[RunSpec], store: ResultStore, jobs: int,
 
 def run_sweep(
     spec: SweepSpec,
-    out_dir,
+    out_dir: Union[str, Path],
     jobs: int = 1,
     timeout: Optional[float] = None,
     force: bool = False,
@@ -193,7 +196,7 @@ def run_sweep(
     store = ResultStore(out_dir)
     store.init_sweep(spec, [job.run_id for job in all_jobs], force=force)
 
-    completed = set() if force else store.completed_run_ids()
+    completed: Set[str] = set() if force else store.completed_run_ids()
     pending = [job for job in all_jobs if job.run_id not in completed]
     skipped = [job.run_id for job in all_jobs if job.run_id in completed]
 

@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Optional
+from typing import Callable, Optional, TextIO
 
 
 class SweepProgress:
     """Counts job outcomes and renders ``[done/total]`` lines."""
 
-    def __init__(self, total: int, workers: int = 1, stream=None,
-                 clock=time.monotonic, enabled: bool = True) -> None:
+    def __init__(self, total: int, workers: int = 1,
+                 stream: Optional[TextIO] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 enabled: bool = True) -> None:
         self.total = total
         self.workers = max(1, workers)
         self.stream = stream if stream is not None else sys.stderr

@@ -31,7 +31,8 @@ import itertools
 import json
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List
+from pathlib import Path
+from typing import Any, Dict, List, Set, Union
 
 from repro.experiments.resultio import dumps_canonical, num_key
 from repro.sim.rng import derive_stream_seed
@@ -78,7 +79,7 @@ def derive_run_seed(master_seed: int, experiment: str, params: Dict) -> int:
     return derive_stream_seed(master_seed, name)
 
 
-def _value_token(value) -> str:
+def _value_token(value: Any) -> str:
     """Short, filesystem-safe rendering of a parameter value for run ids."""
     if isinstance(value, float):
         token = num_key(value)
@@ -164,7 +165,7 @@ class SweepSpec:
             raise SpecError(str(exc)) from exc
 
     @classmethod
-    def from_file(cls, path) -> "SweepSpec":
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
         try:
             with open(path, encoding="utf-8") as handle:
                 doc = json.load(handle)
@@ -195,7 +196,7 @@ class SweepSpec:
         axes = sorted(self.grid)
         combos = itertools.product(*(self.grid[axis] for axis in axes))
         jobs: List[RunSpec] = []
-        seen = set()
+        seen: Set[str] = set()
         for combo in combos:
             varying = dict(zip(axes, combo))
             params = {**self.base, **varying}

@@ -23,11 +23,11 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.experiments.resultio import dumps_canonical
 
-from repro.harness.spec import SweepSpec
+from repro.harness.spec import RunSpec, SweepSpec
 
 ARTIFACT_SCHEMA = 1
 
@@ -39,7 +39,8 @@ class StoreError(RuntimeError):
     """The output directory cannot be (re)used for this sweep."""
 
 
-def make_artifact(job, status: str, result=None, error: Optional[Dict] = None,
+def make_artifact(job: RunSpec, status: str, result: Any = None,
+                  error: Optional[Dict] = None,
                   timing: Optional[Dict] = None) -> Dict:
     """Assemble one run's artifact document (see module docstring)."""
     return {
@@ -76,7 +77,7 @@ class ResultStore:
 
     MANIFEST = "manifest.json"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.runs_dir = self.root / "runs"
 
@@ -162,7 +163,7 @@ class ResultStore:
         """All readable artifacts, ordered by run id."""
         if not self.runs_dir.is_dir():
             return []
-        artifacts = []
+        artifacts: List[Dict] = []
         for path in sorted(self.runs_dir.glob("*.json")):
             artifact = self.read_artifact(path.stem)
             if artifact is not None:
@@ -173,7 +174,7 @@ class ResultStore:
         return {a["run_id"]: a.get("status", STATUS_ERROR)
                 for a in self.list_artifacts()}
 
-    def completed_run_ids(self) -> set:
+    def completed_run_ids(self) -> Set[str]:
         """Runs that never need re-execution (successful artifacts)."""
         return {run_id for run_id, status in self.run_statuses().items()
                 if status == STATUS_OK}

@@ -61,7 +61,10 @@ class HierarchicalASTopology(Topology):
                 targets.add(rng.choice(endpoints))
                 attempts += 1
             degree.append(0)
-            for target in targets:
+            # sorted: the iteration order of `targets` decides the edge list
+            # and the degree-weighted pool, which every later rng draw
+            # depends on — set order is not a language guarantee.
+            for target in sorted(targets):
                 as_edges.append((new_as, target))
                 degree[new_as] += 1
                 degree[target] += 1

@@ -94,7 +94,9 @@ class InvariantChecker:
         """
         alive = set(self.oracle.alive_ids())
         now = self.sim.now
-        for node_id in self._known_alive - alive:
+        # sorted: set-difference order would decide _death_time's insertion
+        # order, which any future iteration of the dict would inherit.
+        for node_id in sorted(self._known_alive - alive):
             self._death_time.setdefault(node_id, now)
         self._known_alive = alive
 

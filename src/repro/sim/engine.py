@@ -16,7 +16,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class EventHandle:
@@ -24,7 +24,8 @@ class EventHandle:
 
     __slots__ = ("time", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, callback: Callable[..., None],
+                 args: Tuple[Any, ...]):
         self.time = time
         self.callback = callback
         self.args = args
@@ -70,7 +71,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False

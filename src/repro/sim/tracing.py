@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ class TraceRecord:
 class MessageTracer:
     def __init__(
         self,
-        network,
+        network: Any,
         types: Optional[Iterable[str]] = None,
         endpoints: Optional[Iterable[int]] = None,
         max_records: int = 100_000,
@@ -49,7 +49,7 @@ class MessageTracer:
         network.stats = self
 
     # ------------------------------------------------------------------
-    def on_send(self, msg, src: int, dst: int, now: float) -> None:
+    def on_send(self, msg: Any, src: int, dst: int, now: float) -> None:
         if self._inner_stats is not None:
             self._inner_stats.on_send(msg, src, dst, now)
         type_name = type(msg).__name__
@@ -78,13 +78,13 @@ class MessageTracer:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
-    def count_by_type(self) -> Counter:
+    def count_by_type(self) -> Counter[str]:
         return Counter(r.type_name for r in self.records)
 
     def between(self, start: float, end: float) -> List[TraceRecord]:
         return [r for r in self.records if start <= r.time < end]
 
-    def conversations(self) -> Counter:
+    def conversations(self) -> Counter[Tuple[int, int]]:
         """Message counts per unordered endpoint pair."""
         return Counter(
             (min(r.src, r.dst), max(r.src, r.dst)) for r in self.records

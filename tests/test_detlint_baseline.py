@@ -1,0 +1,110 @@
+"""Baseline add/expire behaviour and fingerprint stability."""
+
+import json
+
+import pytest
+
+import repro.analysis.runner  # noqa: F401  (registers the rules)
+from repro.analysis import (
+    AnalysisError,
+    Baseline,
+    apply_baseline,
+    build_baseline,
+    lint_paths,
+)
+from repro.analysis.core import Finding
+
+VIOLATION = "import time\nt = time.time()\n"
+
+
+def write_tree(tmp_path, source):
+    target = tmp_path / "src/repro/sim/fixture.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def test_baselined_findings_do_not_fail(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert first.failed
+    baseline = build_baseline(first.findings)
+    second = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline)
+    assert not second.failed
+    assert len(second.result.baselined) == 1
+    assert second.result.new == []
+
+
+def test_new_finding_fails_despite_baseline(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    baseline = build_baseline(
+        lint_paths([tmp_path / "src"], root=tmp_path).findings)
+    # introduce a second, different violation
+    write_tree(tmp_path, VIOLATION + "u = time.monotonic()\n")
+    report = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline)
+    assert report.failed
+    assert len(report.result.new) == 1
+    assert "monotonic" in report.result.new[0].line_text
+    assert len(report.result.baselined) == 1
+
+
+def test_fixed_finding_becomes_stale_entry(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    baseline = build_baseline(
+        lint_paths([tmp_path / "src"], root=tmp_path).findings)
+    write_tree(tmp_path, "t = 0\n")  # violation fixed
+    report = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline)
+    assert not report.failed
+    assert len(report.result.stale) == 1
+    assert report.result.stale[0]["code"] == "DET002"
+
+
+def test_fingerprint_survives_line_moves(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    baseline = build_baseline(
+        lint_paths([tmp_path / "src"], root=tmp_path).findings)
+    # push the violation three lines down; fingerprint must still match
+    write_tree(tmp_path, "import time\n\n\n\nt = time.time()\n")
+    report = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline)
+    assert not report.failed
+    assert len(report.result.baselined) == 1
+    assert report.result.stale == []
+
+
+def test_duplicate_lines_baseline_independently():
+    findings = [
+        Finding(code="DET002", severity="error", path="a.py", line=n,
+                col=0, message="m", line_text="t = time.time()")
+        for n in (1, 2)
+    ]
+    baseline = build_baseline(findings[:1])
+    result = apply_baseline(findings, baseline)
+    assert len(result.baselined) == 1
+    assert len(result.new) == 1
+
+
+def test_save_load_roundtrip(tmp_path):
+    findings = [Finding(code="DET001", severity="error", path="x.py",
+                        line=3, col=0, message="m", line_text="x = 1")]
+    baseline = build_baseline(findings)
+    path = tmp_path / ".detlint-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == 1
+    assert doc["entries"][0]["code"] == "DET001"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    path = tmp_path / ".detlint-baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(AnalysisError):
+        Baseline.load(path)
+    path.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(AnalysisError):
+        Baseline.load(path)
