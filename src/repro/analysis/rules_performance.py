@@ -1,0 +1,82 @@
+"""Performance rules (HOT001): keep the simulation hot path allocation-lean.
+
+The hot-path refactor (see DESIGN.md §10) removed per-event closure and
+lambda construction from the functions that execute once per simulated
+event or message.  A closure object allocated a million times per run is
+real wall-clock, and CPython cannot hoist it.  HOT001 pins that property:
+it is advisory in spirit ("warning") but, like every detlint rule, any
+non-baselined finding fails CI — so a lambda reintroduced into
+``Network.send`` shows up in review instead of in the next benchmark run.
+
+The registry below names the functions measured by ``repro bench``; add a
+function here when it joins the per-event path, remove it when it leaves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: file fragment -> function/method names on the per-event hot path.
+HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
+    "repro/sim/engine.py": frozenset(
+        {"run", "schedule", "schedule_at", "schedule_call"}
+    ),
+    "repro/network/transport.py": frozenset({"send", "_deliver", "_lose"}),
+    "repro/network/base.py": frozenset({"delay", "router_delay"}),
+    "repro/pastry/node.py": frozenset(
+        {"_on_message", "_next_hop", "_route", "_forward"}
+    ),
+    "repro/metrics/collector.py": frozenset({"on_send", "on_loss"}),
+    "repro/pastry/messages.py": frozenset({"wire_size"}),
+}
+
+
+@register
+class NoClosuresOnHotPath(Rule):
+    """HOT001: no lambda/closure construction inside hot-path functions."""
+
+    code = "HOT001"
+    name = "no-hot-path-closures"
+    severity = "warning"
+    description = (
+        "Functions on the per-event hot path (the ones `repro bench` "
+        "measures) run up to millions of times per simulation; building a "
+        "lambda or nested function on each call allocates a fresh code "
+        "closure every time.  Hoist the callable to module or class level, "
+        "or precompute it at configuration time."
+    )
+    packages = tuple(HOT_FUNCTIONS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        hot_names = self._hot_names_for(ctx)
+        if not hot_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in hot_names:
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Lambda):
+                    yield self.finding(
+                        ctx, inner,
+                        f"lambda constructed inside hot-path function "
+                        f"{node.name}(); hoist it out of the per-event path")
+                elif (inner is not node
+                      and isinstance(inner,
+                                     (ast.FunctionDef, ast.AsyncFunctionDef))):
+                    yield self.finding(
+                        ctx, inner,
+                        f"nested function {inner.name}() defined inside "
+                        f"hot-path function {node.name}(); a closure is "
+                        f"allocated on every call — hoist it out")
+
+    def _hot_names_for(self, ctx: FileContext) -> FrozenSet[str]:
+        names: set = set()
+        for fragment, funcs in HOT_FUNCTIONS.items():
+            if ctx.in_package(fragment):
+                names |= funcs
+        return frozenset(names)

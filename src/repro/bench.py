@@ -1,0 +1,363 @@
+"""Simulation-core performance benchmarks (``repro bench``).
+
+A fixed suite of deterministic scenarios exercises each layer of the
+message hot path — the event engine, the transport, a full overlay
+join/churn slice and the topology delay lookup — and reports throughput
+(events per wall-clock second) alongside a per-scenario *fingerprint* of
+the simulated outcome.  Results are written to a schema-versioned JSON
+file (``BENCH_sim_core.json`` at the repo root) so the performance
+trajectory accumulates across PRs: the file carries a pinned *baseline*
+block (the pre-refactor numbers) next to the current results and the
+derived speedups.
+
+Two properties are load-bearing:
+
+* **Determinism** — every scenario is run twice and must produce the same
+  fingerprint both times; a mismatch is a :class:`BenchError` (non-zero
+  exit), which is what CI's ``bench-smoke`` job fails on.  Throughput is
+  *never* an error: machines differ, fingerprints must not.
+* **Wall-clock isolation** — this module reads ``time.perf_counter`` and
+  therefore lives *outside* the simulation packages; detlint's DET002
+  bans real-clock reads inside ``repro/sim`` et al. (see
+  ``repro.analysis.rules_determinism``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA = "repro-bench-sim-core/1"
+#: default output file, at the repo root so the trajectory is versioned
+DEFAULT_OUT = "BENCH_sim_core.json"
+#: scenarios the ISSUE's >= 1.5x acceptance target is measured on
+CORE_SCENARIOS = ("engine_events", "transport_echo")
+
+
+class BenchError(Exception):
+    """A schema or determinism failure (never a throughput judgement)."""
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each takes `quick` and returns (work_units, fingerprint).
+# Work units are what the reported rate counts (executed events, delivered
+# messages, delay queries); the fingerprint condenses the simulated outcome
+# and must be bit-stable across runs and across the refactor.
+# ----------------------------------------------------------------------
+
+def _scenario_engine_events(quick: bool) -> Tuple[int, str]:
+    """Engine microbench: fire-and-forget self-rescheduling event chains."""
+    from repro.sim.engine import Simulator
+
+    target = 40_000 if quick else 250_000
+    chains = 64
+    sim = Simulator()
+    # Fall back to schedule() on a pre-fast-path engine so the same scenario
+    # can record the baseline numbers.
+    schedule = getattr(sim, "schedule_call", None) or sim.schedule
+    fired = [0]
+
+    def tick(chain: int) -> None:
+        fired[0] += 1
+        if fired[0] + chains <= target:
+            schedule(0.001 + 0.0001 * (chain % 7), tick, chain)
+
+    for chain in range(chains):
+        schedule(0.0005 * (chain + 1), tick, chain)
+    sim.run()
+    return sim.events_executed, f"{sim.events_executed}:{sim.now:.9f}"
+
+
+def _scenario_engine_timers(quick: bool) -> Tuple[int, str]:
+    """Engine cancel path: every event arms a timer and cancels the last.
+
+    This is the ack/retransmission pattern that strands lazily-cancelled
+    handles on the heap, so it exercises cancellation bookkeeping and (on a
+    compacting engine) heap compaction.
+    """
+    from repro.sim.engine import Simulator
+
+    target = 30_000 if quick else 150_000
+    sim = Simulator()
+    fired = [0]
+    pending = [None]
+
+    def tick() -> None:
+        fired[0] += 1
+        old = pending[0]
+        if old is not None:
+            old.cancel()
+        if fired[0] < target:
+            # The armed timer sits 100 simulated seconds out and is almost
+            # always cancelled by the next tick — dead weight on the heap.
+            pending[0] = sim.schedule(100.0, _unreached)
+            sim.schedule(0.01, tick)
+
+    def _unreached() -> None:
+        fired[0] += 1_000_000  # poisons the fingerprint if ever reached
+
+    sim.schedule(0.01, tick)
+    sim.run()
+    live = getattr(sim, "live_events", None)
+    return (
+        sim.events_executed,
+        f"{sim.events_executed}:{fired[0]}:{sim.now:.9f}:{live}",
+    )
+
+
+def _scenario_transport_echo(quick: bool) -> Tuple[int, str]:
+    """Transport echo storm: a ring of handlers forwarding on delivery.
+
+    Uses the common production configuration — no loss, no faults, no stats
+    collector — which is exactly the transport fast path.
+    """
+    import random
+
+    from repro.network.simple import UniformDelayTopology
+    from repro.network.transport import Network
+    from repro.sim.engine import Simulator
+
+    n_nodes = 16
+    target = 30_000 if quick else 200_000
+    sim = Simulator()
+    net = Network(sim, UniformDelayTopology(delay=0.05), random.Random(1234))
+    addrs = [net.attach() for _ in range(n_nodes)]
+    received = [0]
+
+    def make_handler(me: int) -> Callable[[int, object], None]:
+        def handler(src: int, msg: object) -> None:
+            received[0] += 1
+            if received[0] + n_nodes <= target:
+                net.send(addrs[me], addrs[(me + 1) % n_nodes], msg)
+        return handler
+
+    for i in range(n_nodes):
+        net.register(addrs[i], make_handler(i))
+    for i in range(n_nodes):
+        net.send(addrs[i], addrs[(i + 1) % n_nodes], ("ping", i))
+    sim.run()
+    fingerprint = (
+        f"{net.messages_sent}:{net.messages_delivered}:"
+        f"{net.messages_lost}:{sim.now:.9f}"
+    )
+    return net.messages_delivered, fingerprint
+
+
+def _scenario_overlay_churn(quick: bool) -> Tuple[int, str]:
+    """A join/churn slice of the fig4 setup: Gnutella trace, GATech net."""
+    from repro.experiments.scenarios import Scenario
+
+    scenario = Scenario(seed=93, topology="gatech", topology_scale=0.1)
+    # Full mode: 0.5 x Gnutella's 2000 average actives ~= a 1000-node slice.
+    scale = 0.05 if quick else 0.5
+    duration = 300.0 if quick else 600.0
+    runner = scenario.build_runner()
+    result = runner.run(scenario.gnutella_trace(scale, duration))
+    fingerprint = (
+        f"{runner.sim.events_executed}:{runner.network.messages_sent}:"
+        f"{runner.network.messages_delivered}:{result.stats.n_lookups}:"
+        f"{result.final_active}"
+    )
+    return runner.sim.events_executed, fingerprint
+
+
+def _scenario_topology_delay(quick: bool) -> Tuple[int, str]:
+    """Raw delay lookups over the GATech transit-stub router graph."""
+    import random
+
+    from repro.network.transit_stub import TransitStubTopology
+
+    rng = random.Random(4242)
+    topo = TransitStubTopology.scaled(rng, scale=0.25)
+    n_nodes = 400
+    for _ in range(n_nodes):
+        topo.attach(rng)
+    queries = 50_000 if quick else 400_000
+    acc = 0.0
+    state = 1
+    for _ in range(queries):
+        state = (state * 1103515245 + 12345) % (n_nodes * n_nodes)
+        acc += topo.delay(state // n_nodes, state % n_nodes)
+    return queries, f"{acc:.9f}:{topo.n_routers}"
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    name: str
+    description: str
+    unit: str
+    fn: Callable[[bool], Tuple[int, str]]
+
+
+SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario(
+        "engine_events", "fire-and-forget event chains (engine only)",
+        "events", _scenario_engine_events),
+    BenchScenario(
+        "engine_timers", "arm-and-cancel timer churn (lazy cancellation)",
+        "events", _scenario_engine_timers),
+    BenchScenario(
+        "transport_echo", "16-node echo storm, no loss/faults/stats",
+        "messages", _scenario_transport_echo),
+    BenchScenario(
+        "overlay_churn", "Gnutella join/churn slice on GATech (fig4 setup)",
+        "events", _scenario_overlay_churn),
+    BenchScenario(
+        "topology_delay", "transit-stub delay lookups (cold + cached rows)",
+        "queries", _scenario_topology_delay),
+)
+
+
+# ----------------------------------------------------------------------
+# Execution and reporting
+# ----------------------------------------------------------------------
+
+def run_scenario(scenario: BenchScenario, quick: bool) -> Dict[str, object]:
+    """Time one scenario.  Two runs: a determinism check plus best-of-2."""
+    observations: List[Tuple[int, float, str]] = []
+    for _ in range(2):
+        started = time.perf_counter()
+        work, fingerprint = scenario.fn(quick)
+        elapsed = time.perf_counter() - started
+        observations.append((work, elapsed, fingerprint))
+    (work_a, _, fp_a), (work_b, _, fp_b) = observations
+    if fp_a != fp_b or work_a != work_b:
+        raise BenchError(
+            f"{scenario.name}: non-deterministic outcome — "
+            f"{fp_a!r}/{work_a} vs {fp_b!r}/{work_b}"
+        )
+    best = min(elapsed for _, elapsed, _ in observations)
+    return {
+        "description": scenario.description,
+        "unit": scenario.unit,
+        "work": work_a,
+        "wall_s": round(best, 4),
+        "rate_per_s": round(work_a / best, 1) if best > 0 else 0.0,
+        "fingerprint": fp_a,
+    }
+
+
+def _load_existing(path: Path) -> Optional[Dict]:
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BenchError(f"unreadable bench file {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        raise BenchError(
+            f"{path} has schema {data.get('schema')!r}, expected {SCHEMA!r}; "
+            f"move it aside or pass --rebaseline to a fresh --out path"
+        )
+    return data
+
+
+def _speedups(results: Dict[str, Dict], baseline: Optional[Dict]) -> Dict[str, float]:
+    if not baseline or baseline.get("mode") is None:
+        return {}
+    base_results = baseline.get("results", {})
+    speedups = {}
+    for name, entry in results.items():
+        base = base_results.get(name)
+        if not base or not base.get("rate_per_s"):
+            continue
+        speedups[name] = round(entry["rate_per_s"] / base["rate_per_s"], 3)
+    return speedups
+
+
+def run_bench(
+    quick: bool = False,
+    out: str = DEFAULT_OUT,
+    label: str = "",
+    rebaseline: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Tuple[Dict, str]:
+    """Run the suite, merge with the existing file, write, and render.
+
+    Returns ``(report_dict, human_readable_text)``.  Raises
+    :class:`BenchError` on determinism or schema failures.
+    """
+    selected = list(SCENARIOS)
+    if scenarios:
+        known = {s.name for s in SCENARIOS}
+        unknown = sorted(set(scenarios) - known)
+        if unknown:
+            raise BenchError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        selected = [s for s in SCENARIOS if s.name in set(scenarios)]
+
+    mode = "quick" if quick else "full"
+    results = {s.name: run_scenario(s, quick) for s in selected}
+
+    path = Path(out)
+    existing = _load_existing(path)
+    baseline = existing.get("baseline") if existing else None
+    if rebaseline or baseline is None:
+        baseline = {"label": label or mode, "mode": mode, "results": results}
+    # Speedups are only meaningful against a baseline of the same mode:
+    # quick and full runs use different workload sizes.
+    comparable = baseline if baseline.get("mode") == mode else None
+    speedups = _speedups(results, comparable)
+
+    history = list(existing.get("history", [])) if existing else []
+    history.append({
+        "label": label or mode,
+        "mode": mode,
+        "rates": {name: entry["rate_per_s"] for name, entry in results.items()},
+    })
+
+    report = {
+        "schema": SCHEMA,
+        "label": label or mode,
+        "mode": mode,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "core_scenarios": list(CORE_SCENARIOS),
+        "results": results,
+        "baseline": baseline,
+        "speedup": speedups,
+        "history": history,
+    }
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return report, render_report(report)
+
+
+def render_report(report: Dict) -> str:
+    lines = [
+        f"repro bench ({report['mode']}) — python {report['python']}",
+        f"{'scenario':16s} {'work':>9s} {'wall_s':>8s} "
+        f"{'rate/s':>12s} {'vs baseline':>12s}",
+    ]
+    speedups = report.get("speedup", {})
+    for name, entry in report["results"].items():
+        speed = speedups.get(name)
+        speed_text = f"{speed:.2f}x" if speed is not None else "-"
+        lines.append(
+            f"{name:16s} {entry['work']:>9d} {entry['wall_s']:>8.3f} "
+            f"{entry['rate_per_s']:>12,.0f} {speed_text:>12s}"
+        )
+    baseline = report.get("baseline") or {}
+    lines.append(
+        f"baseline: {baseline.get('label', '-')} ({baseline.get('mode', '-')})"
+    )
+    return "\n".join(lines)
+
+
+def verify_report_schema(report: Dict) -> None:
+    """Structural sanity check used by tests and the CI smoke job."""
+    if report.get("schema") != SCHEMA:
+        raise BenchError(f"bad schema: {report.get('schema')!r}")
+    for key in ("mode", "results", "baseline", "history"):
+        if key not in report:
+            raise BenchError(f"missing key: {key}")
+    for name, entry in report["results"].items():
+        for field in ("unit", "work", "wall_s", "rate_per_s", "fingerprint"):
+            if field not in entry:
+                raise BenchError(f"results[{name!r}] missing {field!r}")

@@ -38,6 +38,7 @@ from repro.harness import (
     StoreError,
     SweepProgress,
     SweepSpec,
+    default_jobs,
     format_sweep_report,
     run_sweep,
 )
@@ -95,11 +96,13 @@ def cmd_sweep(args) -> int:
         return _fail(
             f"spec names unknown experiment {spec.experiment!r}; "
             f"try: {', '.join(ALL_EXPERIMENTS)}", status=2)
-    jobs = spec.expand()
-    progress = SweepProgress(len(jobs), workers=args.jobs, enabled=not args.quiet)
+    jobs_list = spec.expand()
+    jobs = args.jobs if args.jobs is not None else default_jobs(len(jobs_list))
+    progress = SweepProgress(len(jobs_list), workers=jobs,
+                             enabled=not args.quiet)
     try:
         outcome = run_sweep(
-            spec, args.out, jobs=args.jobs, timeout=args.timeout,
+            spec, args.out, jobs=jobs, timeout=args.timeout,
             force=args.force, progress=progress,
         )
     except StoreError as exc:
@@ -121,6 +124,24 @@ def cmd_report(args) -> int:
         print(format_sweep_report(args.dir, metrics=args.metrics))
     except StoreError as exc:
         return _fail(str(exc), status=2)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import BenchError, run_bench
+
+    try:
+        _report, text = run_bench(
+            quick=args.quick,
+            out=args.out,
+            label=args.label,
+            rebaseline=args.rebaseline,
+            scenarios=args.scenarios,
+        )
+    except BenchError as exc:
+        return _fail(str(exc), status=2)
+    print(text)
+    print(f"written: {args.out}", file=sys.stderr)
     return 0
 
 
@@ -188,8 +209,10 @@ def main(argv=None) -> int:
     sweep = sub.add_parser(
         "sweep", help="run a parameter sweep from a JSON spec")
     sweep.add_argument("spec", help="path to a sweep spec (JSON)")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (default 1)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per available "
+                            "CPU, capped at the job count; serial on a "
+                            "single-core machine)")
     sweep.add_argument("--out", required=True,
                        help="output directory for artifacts + manifest")
     sweep.add_argument("--timeout", type=float, default=None,
@@ -205,6 +228,21 @@ def main(argv=None) -> int:
     report.add_argument("--metric", action="append", dest="metrics",
                         metavar="SUBSTR",
                         help="only metrics containing SUBSTR (repeatable)")
+
+    bench = sub.add_parser(
+        "bench", help="run the simulation-core benchmark suite")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads (CI smoke; not comparable "
+                            "with full-mode baselines)")
+    bench.add_argument("--out", default="BENCH_sim_core.json",
+                       help="output JSON (default: BENCH_sim_core.json)")
+    bench.add_argument("--label", default="",
+                       help="label recorded with this run (e.g. a PR name)")
+    bench.add_argument("--rebaseline", action="store_true",
+                       help="record this run's numbers as the new baseline")
+    bench.add_argument("--scenario", action="append", dest="scenarios",
+                       metavar="NAME",
+                       help="only run the given scenario(s) (repeatable)")
 
     lint = sub.add_parser(
         "lint", help="run detlint static analysis (determinism contracts)")
@@ -233,6 +271,8 @@ def main(argv=None) -> int:
         return cmd_sweep(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "lint":
         return cmd_lint(args)
 

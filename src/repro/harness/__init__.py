@@ -9,7 +9,12 @@ See DESIGN.md §8 for the architecture and determinism guarantees, and
 """
 
 from repro.harness.aggregate import format_sweep_report, group_runs, mean_ci95
-from repro.harness.executor import SweepOutcome, execute_job, run_sweep
+from repro.harness.executor import (
+    SweepOutcome,
+    default_jobs,
+    execute_job,
+    run_sweep,
+)
 from repro.harness.progress import SweepProgress
 from repro.harness.spec import (
     RunSpec,
@@ -35,5 +40,6 @@ __all__ = [
     "make_artifact",
     "make_run_id",
     "mean_ci95",
+    "default_jobs",
     "run_sweep",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import inspect
 import multiprocessing
+import os
 import time
 import traceback
 from collections import deque
@@ -41,6 +42,32 @@ from repro.harness.store import (
 )
 
 _POLL_INTERVAL = 0.02
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware where possible)."""
+    counter = getattr(os, "process_cpu_count", None)  # Python 3.13+
+    if counter is not None:
+        return counter() or 1
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def default_jobs(n_jobs: int) -> int:
+    """Worker count when the user does not pass ``--jobs``.
+
+    One worker per available CPU, never more workers than jobs — and
+    *serial* on a single-core machine, where pool overhead makes a
+    multiprocess sweep slower than inline execution
+    (``benchmarks/results/harness_sweep.txt``: 0.77x with 4 workers on
+    1 core).
+    """
+    cpus = _available_cpus()
+    if cpus <= 1:
+        return 1
+    return max(1, min(cpus, n_jobs))
 
 
 @dataclass
@@ -182,17 +209,22 @@ def _run_pool(pending: List[RunSpec], store: ResultStore, jobs: int,
 def run_sweep(
     spec: SweepSpec,
     out_dir: Union[str, Path],
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     force: bool = False,
     progress: Optional[SweepProgress] = None,
     registry: Optional[Dict] = None,
 ) -> SweepOutcome:
-    """Execute (or resume) ``spec`` into ``out_dir``.  See module docstring."""
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    """Execute (or resume) ``spec`` into ``out_dir``.  See module docstring.
+
+    ``jobs=None`` resolves to :func:`default_jobs` for the expanded sweep.
+    """
     started = time.monotonic()
     all_jobs = spec.expand()
+    if jobs is None:
+        jobs = default_jobs(len(all_jobs))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     store = ResultStore(out_dir)
     store.init_sweep(spec, [job.run_id for job in all_jobs], force=force)
 

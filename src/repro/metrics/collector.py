@@ -24,6 +24,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.pastry.messages import CAT_LOOKUP, CONTROL_CATEGORIES, wire_size
 
 
+def _window_counter() -> Dict[int, int]:
+    """Inner factory for per-category windowed counts (module level so the
+    collector's hot path never constructs closures)."""
+    return defaultdict(int)
+
+
 class ActiveIntegrator:
     """Integrates the active-node count into node-seconds per window."""
 
@@ -78,7 +84,7 @@ class StatsCollector:
         self.lost_total: Dict[str, int] = defaultdict(int)
         self.bytes_total: Dict[str, int] = defaultdict(int)
         self.sent_windowed: Dict[str, Dict[int, int]] = defaultdict(
-            lambda: defaultdict(int)
+            _window_counter
         )
         self.lookups: Dict[int, LookupRecord] = {}
         self.join_latencies: List[float] = []
@@ -92,6 +98,9 @@ class StatsCollector:
     # Event intake
     # ------------------------------------------------------------------
     def on_send(self, msg, src: int, dst: int, now: float) -> None:
+        # Hot path: runs for every message sent while stats are attached.
+        # Counter bumps on preallocated defaultdicts only — no closures or
+        # temporaries beyond the window-bucket index.
         category = msg.category
         self.sent_total[category] += 1
         self.bytes_total[category] += wire_size(msg)

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict
+from collections import OrderedDict
+from typing import List
 
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
+
+#: default bound on cached per-router Dijkstra rows.  A row is one float64
+#: per router, so at the paper's 5050-router GT-ITM topology the cache is
+#: capped at ~512 * 5050 * 8 B ~= 20 MB regardless of how many routers end
+#: up hosting nodes.
+MAX_CACHED_DIST_ROWS = 512
 
 
 class Topology(ABC):
@@ -42,18 +49,39 @@ class RouterGraphTopology(Topology):
 
     End nodes attach to routers through a LAN link.  Router-to-router delays
     are computed by single-source Dijkstra on demand and cached per source
-    router, so only routers that actually host end nodes pay the cost.
+    router (only routers that actually host end nodes pay the cost); the
+    cache is *bounded* — least-recently-computed rows are evicted FIFO past
+    :data:`MAX_CACHED_DIST_ROWS` — so memory stays flat even at the paper's
+    5050-router scale.  The attachment→router map is kept both as a plain
+    list (fastest for the scalar ``delay`` hot path) and as a growable numpy
+    index (:attr:`attachment_routers`) for vectorised queries.
     """
 
-    def __init__(self, lan_delay: float = 0.001) -> None:
-        self.lan_delay = lan_delay
+    def __init__(self, lan_delay: float = 0.001,
+                 max_cached_rows: int = MAX_CACHED_DIST_ROWS) -> None:
+        self._lan_delay = lan_delay
+        self._lan_round = 2.0 * lan_delay
         self._graph: csr_matrix = None  # set by subclass via _set_graph
         self._n_routers = 0
-        self._dist_cache: Dict[int, np.ndarray] = {}
-        # attachment id -> router id
-        self._attach_router: list = []
+        #: router id -> distance row, FIFO-bounded at max_cached_rows
+        self._dist_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._max_cached_rows = max_cached_rows
+        # attachment id -> router id: python list for scalar lookups plus a
+        # numpy mirror (grown amortised-doubling) for vectorised access.
+        self._attach_router: List[int] = []
+        self._router_index = np.empty(64, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    @property
+    def lan_delay(self) -> float:
+        """One-way delay of the end-node access LAN."""
+        return self._lan_delay
+
+    @lan_delay.setter
+    def lan_delay(self, value: float) -> None:
+        self._lan_delay = value
+        self._lan_round = 2.0 * value
+
     def _set_graph(self, n_routers: int, rows, cols, weights) -> None:
         """Install the (symmetric) router graph from edge lists."""
         data = np.asarray(weights, dtype=np.float64)
@@ -76,17 +104,36 @@ class RouterGraphTopology(Topology):
 
     def attach(self, rng: random.Random) -> int:
         router = self._pick_router(rng)
+        attachment = len(self._attach_router)
         self._attach_router.append(router)
-        return len(self._attach_router) - 1
+        if attachment >= len(self._router_index):
+            grown = np.empty(2 * len(self._router_index), dtype=np.int64)
+            grown[:attachment] = self._router_index[:attachment]
+            self._router_index = grown
+        self._router_index[attachment] = router
+        return attachment
 
     def router_of(self, attachment: int) -> int:
         return self._attach_router[attachment]
 
+    @property
+    def attachment_routers(self) -> np.ndarray:
+        """Read-only numpy view of the attachment→router index."""
+        view = self._router_index[:len(self._attach_router)]
+        view.flags.writeable = False
+        return view
+
     def _router_distances(self, router: int) -> np.ndarray:
-        cached = self._dist_cache.get(router)
+        cache = self._dist_cache
+        cached = cache.get(router)
         if cached is None:
             cached = dijkstra(self._graph, indices=router, directed=False)
-            self._dist_cache[router] = cached
+            if len(cache) >= self._max_cached_rows:
+                # FIFO eviction: deterministic (insertion-ordered) and
+                # cheap; router access patterns are stable enough that
+                # recency tracking buys nothing measurable.
+                cache.popitem(last=False)
+            cache[router] = cached
         return cached
 
     def router_delay(self, r1: int, r2: int) -> float:
@@ -97,6 +144,27 @@ class RouterGraphTopology(Topology):
     def delay(self, a: int, b: int) -> float:
         if a == b:
             return 0.0
-        r1, r2 = self._attach_router[a], self._attach_router[b]
+        attach = self._attach_router
+        r1 = attach[a]
+        r2 = attach[b]
         # Two end nodes on the same router LAN still cross the LAN twice.
-        return self.router_delay(r1, r2) + 2.0 * self.lan_delay
+        if r1 == r2:
+            return self._lan_round
+        row = self._dist_cache.get(r1)
+        if row is None:
+            row = self._router_distances(r1)
+        return float(row[r2]) + self._lan_round
+
+    def delays_from(self, a: int) -> np.ndarray:
+        """One-way delays from attachment ``a`` to every attachment.
+
+        Vectorised counterpart of :meth:`delay` (same values entry by
+        entry), for bulk consumers — audits, benchmarks, future
+        vectorised PNS.
+        """
+        routers = self._router_index[:len(self._attach_router)]
+        r1 = self._attach_router[a]
+        delays = self._router_distances(r1)[routers] + self._lan_round
+        delays[routers == r1] = self._lan_round
+        delays[a] = 0.0
+        return delays

@@ -18,6 +18,7 @@ adjacency is realised by a gateway router pair.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -25,6 +26,11 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path
 
 from repro.network.base import Topology
+
+#: bound on cached router-pair hop counts (ints; a few MB at the cap).
+#: FIFO eviction keeps the hot working set without unbounded growth over
+#: long runs with many distinct communicating pairs.
+MAX_CACHED_HOP_PAIRS = 1 << 17
 
 
 class HierarchicalASTopology(Topology):
@@ -40,7 +46,7 @@ class HierarchicalASTopology(Topology):
         self._rng = rng
         self.seconds_per_hop = seconds_per_hop
         self._attach_router: List[int] = []
-        self._hops_cache: Dict[Tuple[int, int], int] = {}
+        self._hops_cache: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
         self._build(n_as, routers_per_as)
 
     # ------------------------------------------------------------------
@@ -166,6 +172,8 @@ class HierarchicalASTopology(Topology):
                 hops += int(self._intra_hops[here][current, gw_out]) + 1
                 current = gw_in
             hops += int(self._intra_hops[b_as][current, lb])
+        if len(self._hops_cache) >= MAX_CACHED_HOP_PAIRS:
+            self._hops_cache.popitem(last=False)
         self._hops_cache[key] = hops
         return hops
 

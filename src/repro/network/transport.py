@@ -9,6 +9,25 @@ Beyond the paper, an optional :class:`repro.faults.FaultState` attached as
 ``network.faults`` injects adversarial pathologies: per-link bursty loss,
 partitions, gray senders and delay inflation (see ``repro.faults``).
 
+Determinism contract
+--------------------
+Fault consultation happens in a fixed order on the hot path — on ``send``:
+uniform channel loss (one RNG draw) → topology delay → ``filter_send`` →
+``adjust_delay``; on delivery: ``filter_deliver`` (so partitions cut
+traffic already in flight) → handler lookup.  :meth:`Network.addresses`
+returns addresses in registration order (dict insertion order), which
+fault targeting and audits rely on: iterating it into RNG-driven choices
+is reproducible because the order is a pure function of the run's own
+event history.  Reordering any of these consultations changes RNG streams
+and therefore breaks same-seed byte-identical results.
+
+The common configuration — no faults, no stats collector, zero loss — is
+*precomputed* into a fast-path flag re-derived whenever ``faults``,
+``stats`` or ``loss_rate`` change, so per-message cost in that
+configuration is one flag test plus a delay lookup and a fire-and-forget
+schedule (:meth:`Simulator.schedule_call`; deliveries are never
+cancelled).
+
 Message accounting distinguishes three counters:
 
 * ``messages_sent`` — *attempted* sends (what a sender pays for),
@@ -46,13 +65,18 @@ class Network:
     ) -> None:
         self.sim = sim
         self.topology = topology
-        self.loss_rate = loss_rate  # validated by the property setter
-        self.stats = stats
         self._rng = rng
         self._handlers: Dict[int, Handler] = {}
-        #: optional fault table (repro.faults.FaultState); installed by a
-        #: FaultSchedule, consulted on every send and delivery
-        self.faults = None
+        self._faults = None
+        self._stats: Optional[Any] = None
+        self._on_loss: Optional[Callable[..., None]] = None
+        self._loss_rate = 0.0
+        self._fast = True
+        # Hot-path bindings: sim and topology never change over a run.
+        self._schedule_call = sim.schedule_call
+        self._delay = topology.delay
+        self.loss_rate = loss_rate  # validated by the property setter
+        self.stats = stats
         self.messages_sent = 0
         self.messages_lost = 0
         self.messages_lost_faults = 0
@@ -60,6 +84,16 @@ class Network:
         self.messages_dropped_dead = 0
 
     # ------------------------------------------------------------------
+    # Fast-path configuration.  The flag is precomputed (not re-checked
+    # per message) and re-derived by every setter that can invalidate it.
+    # ------------------------------------------------------------------
+    def _update_fast_path(self) -> None:
+        self._fast = (
+            self._faults is None
+            and self._stats is None
+            and self._loss_rate == 0.0
+        )
+
     @property
     def loss_rate(self) -> float:
         """Uniform per-message loss probability; mutable mid-run (sweeps)."""
@@ -70,6 +104,29 @@ class Network:
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"loss_rate out of range: {rate}")
         self._loss_rate = rate
+        self._update_fast_path()
+
+    @property
+    def stats(self) -> Optional[Any]:
+        """Stats collector seeing every send/loss (installed mid-run)."""
+        return self._stats
+
+    @stats.setter
+    def stats(self, collector: Optional[Any]) -> None:
+        self._stats = collector
+        self._on_loss = getattr(collector, "on_loss", None)
+        self._update_fast_path()
+
+    @property
+    def faults(self) -> Optional[Any]:
+        """Optional fault table (repro.faults.FaultState); installed by a
+        FaultSchedule, consulted on every send and delivery."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, state: Optional[Any]) -> None:
+        self._faults = state
+        self._update_fast_path()
 
     # ------------------------------------------------------------------
     def attach(self) -> int:
@@ -88,7 +145,14 @@ class Network:
         return address in self._handlers
 
     def addresses(self) -> List[int]:
-        """All currently registered addresses (fault targeting, audits)."""
+        """All currently registered addresses (fault targeting, audits).
+
+        Determinism contract: the order is *registration order* (dict
+        insertion order) — stable across same-seed runs because it is a
+        pure function of the run's own event history.  Callers may feed it
+        into RNG-driven sampling (fault targeting does) without breaking
+        reproducibility.
+        """
         return list(self._handlers)
 
     # ------------------------------------------------------------------
@@ -101,28 +165,41 @@ class Network:
     def send(self, src: int, dst: int, msg: Any) -> None:
         """Send ``msg`` from address ``src`` to ``dst`` (fire and forget)."""
         self.messages_sent += 1
-        if self.stats is not None:
-            self.stats.on_send(msg, src, dst, self.sim.now)
+        if self._fast:
+            # No faults, no stats, no loss: one delay lookup, one
+            # fire-and-forget event.  Equivalent to the general path below
+            # with every optional branch false — same RNG usage (none),
+            # same seq numbering.
+            self._schedule_call(self._delay(src, dst), self._deliver,
+                                src, dst, msg)
+            return
+        stats = self._stats
+        if stats is not None:
+            stats.on_send(msg, src, dst, self.sim.now)
         if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
             self._lose(msg, src, dst)
             return
-        delay = self.topology.delay(src, dst)
-        if self.faults is not None:
-            if self.faults.filter_send(src, dst) is not None:
+        delay = self._delay(src, dst)
+        faults = self._faults
+        if faults is not None:
+            if faults.filter_send(src, dst) is not None:
                 self.messages_lost_faults += 1
                 self._lose(msg, src, dst)
                 return
-            delay = self.faults.adjust_delay(src, dst, delay)
-        self.sim.schedule(delay, self._deliver, src, dst, msg)
+            delay = faults.adjust_delay(src, dst, delay)
+        self._schedule_call(delay, self._deliver, src, dst, msg)
 
     def _lose(self, msg: Any, src: int, dst: int) -> None:
         self.messages_lost += 1
-        on_loss = getattr(self.stats, "on_loss", None)
-        if on_loss is not None:
-            on_loss(msg, src, dst, self.sim.now)
+        if self._on_loss is not None:
+            self._on_loss(msg, src, dst, self.sim.now)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
-        if self.faults is not None and self.faults.filter_deliver(src, dst) is not None:
+        # Faults are consulted at delivery time even when the message was
+        # sent on the fast path: a partition installed while the message
+        # was in flight must still cut it.
+        faults = self._faults
+        if faults is not None and faults.filter_deliver(src, dst) is not None:
             self.messages_lost_faults += 1
             self._lose(msg, src, dst)
             return

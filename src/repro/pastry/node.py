@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from itertools import chain
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, ClassVar, Dict, List, Optional, Set
 
 from repro.network.transport import Network
 from repro.pastry import messages as m
@@ -64,6 +64,10 @@ class _ProbeState:
 
 
 class MSPastryNode:
+    #: type -> (bound dispatch function, is_contact flag); populated after
+    #: the class body from _DISPATCH_ORDER, extended lazily for subclasses.
+    _DISPATCH: ClassVar[Dict[type, tuple]] = {}
+
     def __init__(
         self,
         sim: Simulator,
@@ -816,36 +820,55 @@ class MSPastryNode:
         return True
 
     def _next_hop(self, key: int, excluded: frozenset) -> Optional[NodeDescriptor]:
-        def usable(desc: NodeDescriptor) -> bool:
-            return (
-                desc.id not in self.suspected
-                and desc.id not in self.failed
-                and desc.id not in excluded
-            )
-
+        # Routing inner loop: the usability predicate (not suspected, not
+        # failed, not excluded) is inlined against hoisted locals — it runs
+        # once per candidate per hop, for every routed message.
+        suspected = self.suspected
+        failed = self.failed
+        my_id = self.id
         leaf_set = self.leaf_set
         if leaf_set.covers(key):
             best = self.descriptor
+            best_id = my_id
             for desc in leaf_set.members():
-                if usable(desc) and is_closer_root(desc.id, best.id, key):
+                desc_id = desc.id
+                if (
+                    desc_id not in suspected
+                    and desc_id not in failed
+                    and desc_id not in excluded
+                    and is_closer_root(desc_id, best_id, key)
+                ):
                     best = desc
-            return None if best.id == self.id else best
+                    best_id = desc_id
+            return None if best_id == my_id else best
 
-        row = shared_prefix_length(key, self.id, self.config.b)
-        primary = self.routing_table.get(row, digit(key, row, self.config.b))
-        if primary is not None and usable(primary):
-            return primary
+        b = self.config.b
+        row = shared_prefix_length(key, my_id, b)
+        primary = self.routing_table.get(row, digit(key, row, b))
+        if primary is not None:
+            primary_id = primary.id
+            if (
+                primary_id not in suspected
+                and primary_id not in failed
+                and primary_id not in excluded
+            ):
+                return primary
 
         # Route around the missing/suspect entry: any known node strictly
         # closer to the key that shares a prefix of length >= row.
         best = None
-        best_dist = ring_distance(self.id, key)
+        best_dist = ring_distance(my_id, key)
         for desc in chain(self.routing_table.entries(), leaf_set.members()):
-            if not usable(desc):
+            desc_id = desc.id
+            if (
+                desc_id in suspected
+                or desc_id in failed
+                or desc_id in excluded
+            ):
                 continue
-            if shared_prefix_length(key, desc.id, self.config.b) < row:
+            if shared_prefix_length(key, desc_id, b) < row:
                 continue
-            dist = ring_distance(desc.id, key)
+            dist = ring_distance(desc_id, key)
             if dist < best_dist:
                 best = desc
                 best_dist = dist
@@ -855,7 +878,7 @@ class MSPastryNode:
             and self.config.passive_rt_repair
             and self.config.pns
         ):
-            self.send(best, m.SlotRequest(row=row, col=digit(key, row, self.config.b)))
+            self.send(best, m.SlotRequest(row=row, col=digit(key, row, b)))
         return best
 
     def _forward(self, msg: m.Message, next_hop: NodeDescriptor) -> None:
@@ -1032,17 +1055,111 @@ class MSPastryNode:
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
+    # The handler for each message type is looked up in a precomputed
+    # class-level table keyed by exact type (populated below the class
+    # body, in the order of the old isinstance chain).  Message types are
+    # flat — none subclasses another — so an exact-type hit is equivalent
+    # to the chain; hypothetical subclasses fall back to a memoized
+    # isinstance resolution in the same order.  Each table entry carries
+    # the "contact" flag (may this type trigger leaf-set recovery?) so the
+    # pre-dispatch block pays one dict lookup instead of an isinstance
+    # check per message.
+
+    def _handle_lookup(self, src_addr, sender, msg) -> None:
+        self._on_lookup(msg)
+
+    def _handle_ack(self, src_addr, sender, msg) -> None:
+        self.acks.on_ack(msg.msg_id, src_addr)
+
+    def _handle_ls_probe(self, src_addr, sender, msg) -> None:
+        self._on_ls_probe(sender, msg)
+
+    def _handle_ls_probe_reply(self, src_addr, sender, msg) -> None:
+        self._on_ls_probe_reply(sender, msg)
+
+    def _handle_heartbeat(self, src_addr, sender, msg) -> None:
+        self._on_heartbeat(sender)
+
+    def _handle_join_request(self, src_addr, sender, msg) -> None:
+        self._on_join_request(msg)
+
+    def _handle_join_reply(self, src_addr, sender, msg) -> None:
+        self._on_join_reply(msg)
+
+    def _handle_rt_probe(self, src_addr, sender, msg) -> None:
+        self.send(sender, m.RtProbeReply())
+
+    def _handle_rt_probe_reply(self, src_addr, sender, msg) -> None:
+        self._on_rt_probe_reply(sender)
+
+    def _handle_distance_probe(self, src_addr, sender, msg) -> None:
+        self.prox.on_probe(sender, msg)
+
+    def _handle_distance_probe_reply(self, src_addr, sender, msg) -> None:
+        self.prox.on_probe_reply(sender, msg)
+
+    def _handle_distance_report(self, src_addr, sender, msg) -> None:
+        self.prox.on_report(sender, msg)
+
+    def _handle_row_announce(self, src_addr, sender, msg) -> None:
+        self.prox.on_row_announce(sender, msg)
+
+    def _handle_row_request(self, src_addr, sender, msg) -> None:
+        self.prox.on_row_request(sender, msg)
+
+    def _handle_row_reply(self, src_addr, sender, msg) -> None:
+        self.prox.on_row_reply(sender, msg)
+
+    def _handle_slot_request(self, src_addr, sender, msg) -> None:
+        self._on_slot_request(sender, msg)
+
+    def _handle_slot_reply(self, src_addr, sender, msg) -> None:
+        self._on_slot_reply(msg)
+
+    def _handle_leafset_request(self, src_addr, sender, msg) -> None:
+        self._on_leafset_request(sender, msg)
+
+    def _handle_leafset_reply(self, src_addr, sender, msg) -> None:
+        self._on_leafset_reply(sender, msg)
+
+    def _handle_app_direct(self, src_addr, sender, msg) -> None:
+        if self.on_app_direct is not None:
+            self.on_app_direct(self, msg)
+
+    def _handle_state_request(self, src_addr, sender, msg) -> None:
+        self.send(sender, m.StateReply(nodes=self.routing_state_members()))
+
+    def _handle_state_reply(self, src_addr, sender, msg) -> None:
+        if self._discovery is not None:
+            self._discovery.on_state_reply(sender, msg)
+
+    @classmethod
+    def _resolve_dispatch(cls, msg_type: type) -> tuple:
+        """Slow-path resolution for message subclasses, memoized."""
+        for registered, entry in _DISPATCH_ORDER:
+            if issubclass(msg_type, registered):
+                cls._DISPATCH[msg_type] = entry
+                return entry
+        entry = (None, False)
+        cls._DISPATCH[msg_type] = entry
+        return entry
+
     def _on_message(self, src_addr: int, msg: m.Message) -> None:
         if self.crashed:
             return
+        entry = self._DISPATCH.get(msg.__class__)
+        if entry is None:
+            entry = self._resolve_dispatch(msg.__class__)
+        handler, is_contact = entry
         sender = msg.sender
         if sender is not None and sender.id != self.id:
-            self.last_heard[sender.id] = self.sim.now
-            self.suspected.discard(sender.id)
-            if self._deferred and sender.id in self._deferred:
-                self._flush_deferred_for(sender.id)
+            sender_id = sender.id
+            self.last_heard[sender_id] = self.sim.now
+            self.suspected.discard(sender_id)
+            if self._deferred and sender_id in self._deferred:
+                self._flush_deferred_for(sender_id)
             if msg.tuning_hint is not None:
-                self.tuner.record_hint(sender.id, msg.tuning_hint)
+                self.tuner.record_hint(sender_id, msg.tuning_hint)
             # Contact-driven leaf-set recovery: traffic from a node that
             # belongs in our leaf set but is not there triggers a probe.
             # This generalizes the heartbeat recovery rule below and is what
@@ -1050,65 +1167,19 @@ class MSPastryNode:
             # first cross-side contact (a routed lookup, an RT probe) pulls
             # the sender in, and the ensuing LS-PROBE exchange propagates
             # both sides' leaf sets.  Only message types that active members
-            # send qualify: probing e.g. a seed-discovery walker or a
-            # mid-join node would entangle it in the ring prematurely.
+            # send qualify (the ``is_contact`` flag in the dispatch table):
+            # probing e.g. a seed-discovery walker or a mid-join node would
+            # entangle it in the ring prematurely.
             if (
-                self.active
-                and isinstance(
-                    msg, (m.Lookup, m.Ack, m.Heartbeat, m.RtProbe, m.RtProbeReply)
-                )
-                and sender.id not in self.leaf_set
-                and sender.id not in self.failed
+                is_contact
+                and self.active
+                and sender_id not in self.leaf_set
+                and sender_id not in self.failed
                 and self.leaf_set.would_admit(sender)
             ):
                 self.probe(sender)
-
-        if isinstance(msg, m.Lookup):
-            self._on_lookup(msg)
-        elif isinstance(msg, m.Ack):
-            self.acks.on_ack(msg.msg_id, src_addr)
-        elif isinstance(msg, m.LsProbe):
-            self._on_ls_probe(sender, msg)
-        elif isinstance(msg, m.LsProbeReply):
-            self._on_ls_probe_reply(sender, msg)
-        elif isinstance(msg, m.Heartbeat):
-            self._on_heartbeat(sender)
-        elif isinstance(msg, m.JoinRequest):
-            self._on_join_request(msg)
-        elif isinstance(msg, m.JoinReply):
-            self._on_join_reply(msg)
-        elif isinstance(msg, m.RtProbe):
-            self.send(sender, m.RtProbeReply())
-        elif isinstance(msg, m.RtProbeReply):
-            self._on_rt_probe_reply(sender)
-        elif isinstance(msg, m.DistanceProbe):
-            self.prox.on_probe(sender, msg)
-        elif isinstance(msg, m.DistanceProbeReply):
-            self.prox.on_probe_reply(sender, msg)
-        elif isinstance(msg, m.DistanceReport):
-            self.prox.on_report(sender, msg)
-        elif isinstance(msg, m.RowAnnounce):
-            self.prox.on_row_announce(sender, msg)
-        elif isinstance(msg, m.RowRequest):
-            self.prox.on_row_request(sender, msg)
-        elif isinstance(msg, m.RowReply):
-            self.prox.on_row_reply(sender, msg)
-        elif isinstance(msg, m.SlotRequest):
-            self._on_slot_request(sender, msg)
-        elif isinstance(msg, m.SlotReply):
-            self._on_slot_reply(msg)
-        elif isinstance(msg, m.LeafSetRequest):
-            self._on_leafset_request(sender, msg)
-        elif isinstance(msg, m.LeafSetReply):
-            self._on_leafset_reply(sender, msg)
-        elif isinstance(msg, m.AppDirect):
-            if self.on_app_direct is not None:
-                self.on_app_direct(self, msg)
-        elif isinstance(msg, m.StateRequest):
-            self.send(sender, m.StateReply(nodes=self.routing_state_members()))
-        elif isinstance(msg, m.StateReply):
-            if self._discovery is not None:
-                self._discovery.on_state_reply(sender, msg)
+        if handler is not None:
+            handler(self, src_addr, sender, msg)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1171,3 +1242,36 @@ class MSPastryNode:
         self._deferred_ids.clear()
 
     leave = crash  # voluntary departure is indistinguishable from a crash
+
+
+#: Dispatch table source of truth, in the order of the old isinstance chain
+#: (resolution order matters only for hypothetical message subclasses; the
+#: shipped types are flat so exact-type lookup always hits).  The boolean is
+#: the "contact" flag: message types active ring members send, eligible to
+#: trigger contact-driven leaf-set recovery in ``_on_message``.
+_DISPATCH_ORDER = (
+    (m.Lookup, (MSPastryNode._handle_lookup, True)),
+    (m.Ack, (MSPastryNode._handle_ack, True)),
+    (m.LsProbe, (MSPastryNode._handle_ls_probe, False)),
+    (m.LsProbeReply, (MSPastryNode._handle_ls_probe_reply, False)),
+    (m.Heartbeat, (MSPastryNode._handle_heartbeat, True)),
+    (m.JoinRequest, (MSPastryNode._handle_join_request, False)),
+    (m.JoinReply, (MSPastryNode._handle_join_reply, False)),
+    (m.RtProbe, (MSPastryNode._handle_rt_probe, True)),
+    (m.RtProbeReply, (MSPastryNode._handle_rt_probe_reply, True)),
+    (m.DistanceProbe, (MSPastryNode._handle_distance_probe, False)),
+    (m.DistanceProbeReply, (MSPastryNode._handle_distance_probe_reply, False)),
+    (m.DistanceReport, (MSPastryNode._handle_distance_report, False)),
+    (m.RowAnnounce, (MSPastryNode._handle_row_announce, False)),
+    (m.RowRequest, (MSPastryNode._handle_row_request, False)),
+    (m.RowReply, (MSPastryNode._handle_row_reply, False)),
+    (m.SlotRequest, (MSPastryNode._handle_slot_request, False)),
+    (m.SlotReply, (MSPastryNode._handle_slot_reply, False)),
+    (m.LeafSetRequest, (MSPastryNode._handle_leafset_request, False)),
+    (m.LeafSetReply, (MSPastryNode._handle_leafset_reply, False)),
+    (m.AppDirect, (MSPastryNode._handle_app_direct, False)),
+    (m.StateRequest, (MSPastryNode._handle_state_request, False)),
+    (m.StateReply, (MSPastryNode._handle_state_reply, False)),
+)
+
+MSPastryNode._DISPATCH = {cls: entry for cls, entry in _DISPATCH_ORDER}

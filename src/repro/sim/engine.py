@@ -2,13 +2,28 @@
 
 Design notes
 ------------
-* Events are ``(time, seq, EventHandle)`` tuples on a binary heap.  The
-  monotonically increasing ``seq`` breaks ties deterministically, so two
-  events scheduled for the same instant always fire in scheduling order.
-* Cancellation is *lazy*: cancelled handles stay on the heap and are skipped
-  when popped.  This makes :meth:`EventHandle.cancel` O(1), which matters
-  because protocol code cancels timers constantly (every ack cancels a
-  retransmission timer).
+* Events are ``(time, seq, handle, callback, args)`` tuples on a binary
+  heap.  The monotonically increasing ``seq`` breaks ties deterministically,
+  so two events scheduled for the same instant always fire in scheduling
+  order; comparison never reaches the non-orderable slots.
+* Two scheduling flavours share the single seq counter (and therefore a
+  single deterministic total order):
+
+  - :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+    :class:`EventHandle` that can be cancelled — timers, retransmissions.
+  - :meth:`Simulator.schedule_call` is the no-handle fast path for
+    fire-and-forget events (message deliveries never cancel), skipping the
+    handle allocation and consume-time bookkeeping entirely.
+
+* Cancellation is *lazy*: cancelled entries stay on the heap and are
+  skipped when popped.  This keeps :meth:`EventHandle.cancel` O(1), which
+  matters because protocol code cancels timers constantly (every ack
+  cancels a retransmission timer).  To stop dead entries from dominating
+  the heap (every acked packet strands one), the simulator tracks the live
+  count and *compacts* the heap in place — dropping cancelled entries and
+  re-heapifying — once the dead fraction passes a threshold.  Compaction
+  preserves the (time, seq) order of every live entry, so it can never
+  reorder or drop live events.
 * The simulator never advances past ``run(until=...)``; events scheduled
   beyond the horizon simply remain queued.
 """
@@ -18,26 +33,37 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+#: don't bother compacting heaps smaller than this (cheap to carry)
+_COMPACT_MIN_DEAD = 512
+#: compact when more than this fraction of heap entries is dead
+_COMPACT_DEAD_FRACTION = 0.5
+
 
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, callback: Callable[..., None],
-                 args: Tuple[Any, ...]):
+                 args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events pinned on the heap do not keep
         # large object graphs (nodes, messages) alive.
         self.callback = _noop
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -56,6 +82,13 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. negative delays)."""
 
 
+# A heap entry is (time, seq, handle | None, callback | None, args | None):
+# handle-carrying entries keep callback/args on the handle (so cancel() can
+# release them); fast-path entries inline them and can never be cancelled.
+_Entry = Tuple[float, int, Optional[EventHandle],
+               Optional[Callable[..., None]], Optional[Tuple[Any, ...]]]
+
+
 class Simulator:
     """Single-threaded discrete-event simulator.
 
@@ -71,10 +104,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._heap: List[_Entry] = []
         self._seq: int = 0
+        self._live: int = 0
         self._events_executed: int = 0
+        self._compactions: int = 0
         self._running = False
+        # Compaction policy knobs (instance attrs so tests can tighten them).
+        self._compact_min_dead = _COMPACT_MIN_DEAD
+        self._compact_dead_fraction = _COMPACT_DEAD_FRACTION
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,10 +133,57 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
-        handle = EventHandle(time, callback, args)
+        handle = EventHandle(time, callback, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, handle, None, None))
         return handle
+
+    def schedule_call(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        Semantically identical to ``schedule(delay, callback, *args)`` for
+        an event that is never cancelled — it draws the same seq number, so
+        interleavings with handle-carrying events are unchanged — but skips
+        the handle allocation and the consume-time bookkeeping.  This is
+        the transport's per-message path.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, None, callback, args)
+        )
+
+    # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A live handle on the heap was cancelled; maybe compact."""
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if (dead >= self._compact_min_dead
+                and dead > self._compact_dead_fraction * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, *in place*.
+
+        In place matters: ``run()`` holds a local reference to the heap
+        list.  Determinism: every surviving entry keeps its (time, seq)
+        key and heapq's pop order is a pure function of the key set, so
+        live events fire exactly as they would have without compaction.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        heapq.heapify(heap)
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -114,18 +199,35 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                time, _seq, handle = self._heap[0]
+            while heap:
+                entry = heap[0]
+                time = entry[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                if handle.cancelled:
+                pop(heap)
+                handle = entry[2]
+                if handle is None:
+                    # Fast path: fire-and-forget entry, nothing to consume.
+                    self._live -= 1
+                    self.now = time
+                    entry[3](*entry[4])  # type: ignore[misc]
+                elif handle.cancelled:
                     continue
-                self.now = time
-                callback, args = handle.callback, handle.args
-                handle.cancel()  # mark consumed; releases references
-                callback(*args)
+                else:
+                    self._live -= 1
+                    self.now = time
+                    callback, args = handle.callback, handle.args
+                    # Mark consumed (handle.active turns False, as timer
+                    # bookkeeping relies on) and release references —
+                    # without going through cancel(), which would double-
+                    # count the cancellation in the live-event ledger.
+                    handle.cancelled = True
+                    handle.callback = _noop
+                    handle.args = ()
+                    callback(*args)
                 executed += 1
                 self._events_executed += 1
                 if max_events is not None and executed >= max_events:
@@ -133,7 +235,7 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self.now < until and (
-            not self._heap or self._heap[0][0] > until
+            not heap or heap[0][0] > until
         ):
             # Advance the clock to the horizon so back-to-back run() calls
             # see contiguous time windows.
@@ -141,9 +243,24 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued events, *including* lazily-cancelled ones."""
+        """Raw heap size, *including* lazily-cancelled entries.
+
+        This over-counts the work actually left (every cancelled-but-not-
+        yet-popped timer inflates it); use :attr:`live_events` for
+        progress/health reporting.
+        """
         return len(self._heap)
+
+    @property
+    def live_events(self) -> int:
+        """Queued events that will actually fire (cancelled ones excluded)."""
+        return self._live
 
     @property
     def events_executed(self) -> int:
         return self._events_executed
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many times the heap was compacted (observability/tests)."""
+        return self._compactions

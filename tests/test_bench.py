@@ -1,0 +1,129 @@
+"""The ``repro bench`` performance-baseline suite.
+
+These tests exercise the harness, not the throughput numbers: scenario
+determinism, report schema, baseline persistence across runs, and the CLI
+wiring.  The fast scenarios run with tiny workloads via --scenario
+selection so the whole file stays quick.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import (
+    CORE_SCENARIOS,
+    SCENARIOS,
+    SCHEMA,
+    BenchError,
+    run_bench,
+    run_scenario,
+    verify_report_schema,
+)
+from repro.cli import main as cli_main
+
+FAST = ["engine_events", "engine_timers", "transport_echo"]
+
+
+def test_scenario_registry_covers_core():
+    names = {s.name for s in SCENARIOS}
+    assert set(CORE_SCENARIOS) <= names
+    assert len(names) == len(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_scenarios_are_deterministic(name):
+    scenario = next(s for s in SCENARIOS if s.name == name)
+    entry = run_scenario(scenario, quick=True)
+    verify = run_scenario(scenario, quick=True)
+    assert entry["fingerprint"] == verify["fingerprint"]
+    assert entry["work"] == verify["work"]
+    assert entry["work"] > 0
+    assert entry["rate_per_s"] > 0
+
+
+def test_run_scenario_raises_on_nondeterminism():
+    ticker = iter(range(10))
+
+    def flaky(quick):
+        return 100, f"fp-{next(ticker)}"
+
+    scenario = bench.BenchScenario(
+        name="flaky", description="", unit="events", fn=flaky
+    )
+    with pytest.raises(BenchError, match="non-deterministic"):
+        run_scenario(scenario, quick=True)
+
+
+def test_run_bench_writes_report_and_keeps_baseline(tmp_path):
+    out = tmp_path / "bench.json"
+    report, text = run_bench(
+        quick=True, out=str(out), label="first", rebaseline=True,
+        scenarios=["engine_events"],
+    )
+    verify_report_schema(report)
+    assert report["baseline"]["label"] == "first"
+    assert report["speedup"]["engine_events"] == pytest.approx(1.0)
+    assert "engine_events" in text
+
+    # A second run without --rebaseline keeps the original baseline and
+    # appends to history.
+    report2, _ = run_bench(
+        quick=True, out=str(out), label="second",
+        scenarios=["engine_events"],
+    )
+    assert report2["baseline"]["label"] == "first"
+    assert [h["label"] for h in report2["history"]] == ["first", "second"]
+    assert "engine_events" in report2["speedup"]
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == SCHEMA
+    verify_report_schema(on_disk)
+
+
+def test_run_bench_rejects_unknown_scenario(tmp_path):
+    with pytest.raises(BenchError, match="unknown scenario"):
+        run_bench(quick=True, out=str(tmp_path / "b.json"),
+                  scenarios=["nope"])
+
+
+def test_run_bench_rejects_foreign_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    out.write_text(json.dumps({"schema": "something-else/9"}))
+    with pytest.raises(BenchError, match="schema"):
+        run_bench(quick=True, out=str(out), scenarios=["engine_events"])
+
+
+def test_no_speedup_across_modes(tmp_path):
+    """quick vs full workloads differ; rates must not be compared."""
+    out = tmp_path / "bench.json"
+    report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
+                          scenarios=["engine_events"])
+    report["baseline"]["mode"] = "full"  # simulate a full-mode baseline
+    out.write_text(json.dumps(report))
+    report2, text = run_bench(quick=True, out=str(out),
+                              scenarios=["engine_events"])
+    assert report2["speedup"] == {}
+    assert "-" in text
+
+
+def test_cli_bench_runs_quick(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = cli_main([
+        "bench", "--quick", "--out", str(out),
+        "--scenario", "engine_events", "--label", "cli-test",
+    ])
+    assert rc == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "engine_events" in captured
+    verify_report_schema(json.loads(out.read_text()))
+
+
+def test_cli_bench_reports_errors(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    out.write_text(json.dumps({"schema": "wrong/0"}))
+    rc = cli_main([
+        "bench", "--quick", "--out", str(out), "--scenario", "engine_events",
+    ])
+    assert rc == 2

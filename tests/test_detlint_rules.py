@@ -25,7 +25,7 @@ def lint_snippet(source, path=ANY_PATH, select=None):
 def test_registry_has_all_advertised_rules():
     assert REGISTRY.codes() == [
         "DET001", "DET002", "DET003", "DET004", "DET005",
-        "HARN001", "SIM001", "SIM002",
+        "HARN001", "HOT001", "SIM001", "SIM002",
     ]
 
 
@@ -256,6 +256,43 @@ def test_harn001_clean(snippet):
 def test_harn001_scoped_to_harness():
     snippet = "def go(ctx):\n    ctx.Process(target=lambda: 1).start()\n"
     assert "HARN001" not in lint_snippet(snippet, path=SIM_PATH)
+
+
+# ----------------------------------------------------------------------
+# HOT001 — no closures on the hot path
+# ----------------------------------------------------------------------
+ENGINE_PATH = "src/repro/sim/engine.py"
+TRANSPORT_PATH = "src/repro/network/transport.py"
+
+
+@pytest.mark.parametrize("snippet", [
+    "class S:\n    def run(self):\n        f = lambda: 1\n        return f()\n",
+    ("class S:\n    def schedule_call(self, d, cb):\n"
+     "        def fire():\n            cb()\n        return fire\n"),
+])
+def test_hot001_triggers_in_hot_functions(snippet):
+    assert "HOT001" in lint_snippet(snippet, path=ENGINE_PATH)
+
+
+@pytest.mark.parametrize("snippet", [
+    # lambda in a non-hot function of a hot file is fine
+    "class S:\n    def render(self):\n        return (lambda: 1)()\n",
+    # hot function without closures is fine
+    "class S:\n    def run(self):\n        return 1\n",
+])
+def test_hot001_clean(snippet):
+    assert "HOT001" not in lint_snippet(snippet, path=ENGINE_PATH)
+
+
+def test_hot001_scoped_to_hot_files():
+    snippet = "class S:\n    def run(self):\n        return (lambda: 1)()\n"
+    assert "HOT001" not in lint_snippet(snippet, path=ANY_PATH)
+
+
+def test_hot001_flags_send_in_transport():
+    snippet = ("class N:\n    def send(self, m):\n"
+               "        self.q.append(lambda: m)\n")
+    assert "HOT001" in lint_snippet(snippet, path=TRANSPORT_PATH)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,38 @@
+"""Golden same-seed traces: the hot-path refactor equivalence contract.
+
+Each test re-runs one experiment at the exact seed/parameters pinned in
+``tests/golden/generate.py`` and asserts the canonical-JSON result is
+*byte-identical* to the committed golden file.  These runs cross every
+refactored layer — engine event ordering, transport fast path, topology
+delay caches, node dispatch, metrics counting — so any same-seed
+behaviour change fails here first.
+
+If a change is *meant* to alter results, regenerate with
+``PYTHONPATH=src python tests/golden/generate.py`` and justify the diff.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "repro_golden_generate", GOLDEN_DIR / "generate.py"
+)
+_generate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_generate)
+GOLDEN_RUNS, compute = _generate.GOLDEN_RUNS, _generate.compute
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_golden_trace_is_byte_identical(name):
+    golden = (GOLDEN_DIR / f"{name}.json").read_text()
+    assert compute(name) == golden, (
+        f"{name}: same-seed output diverged from tests/golden/{name}.json — "
+        f"the refactor equivalence contract is broken (or the change is "
+        f"intentional: regenerate via tests/golden/generate.py)"
+    )

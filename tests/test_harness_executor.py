@@ -13,7 +13,8 @@ import types
 
 import pytest
 
-from repro.harness.executor import execute_job, run_sweep
+from repro.harness import executor
+from repro.harness.executor import default_jobs, execute_job, run_sweep
 from repro.harness.progress import SweepProgress
 from repro.harness.spec import SweepSpec
 from repro.harness.store import ResultStore
@@ -261,3 +262,38 @@ def test_run_sweep_rejects_bad_jobs(tmp_path):
     spec = SweepSpec.from_json(dict(name="t", experiment="fake", seeds=[1]))
     with pytest.raises(ValueError, match="jobs"):
         run_sweep(spec, tmp_path, jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Default worker count
+# ----------------------------------------------------------------------
+def test_default_jobs_serial_on_one_core(monkeypatch):
+    monkeypatch.setattr(executor, "_available_cpus", lambda: 1)
+    assert default_jobs(8) == 1
+
+
+def test_default_jobs_capped_by_cpus_and_jobs(monkeypatch):
+    monkeypatch.setattr(executor, "_available_cpus", lambda: 4)
+    assert default_jobs(16) == 4   # cpu-bound
+    assert default_jobs(2) == 2    # never more workers than jobs
+    assert default_jobs(1) == 1
+
+
+def test_run_sweep_defaults_jobs_when_none(tmp_path, monkeypatch):
+    calls = []
+
+    def spy(n_jobs):
+        calls.append(n_jobs)
+        return 1
+
+    monkeypatch.setattr(executor, "default_jobs", spy)
+
+    def run(seed=0, x=0):
+        return {"x": x}
+
+    spec = SweepSpec.from_json(dict(name="t", experiment="fake",
+                                    grid={"x": [1, 2]}, seeds=[1]))
+    outcome = run_sweep(spec, tmp_path, jobs=None,
+                        registry={"fake": fake_module(run)})
+    assert calls == [2]
+    assert sorted(outcome.ok) == ["fake-x=1--s1", "fake-x=2--s1"]
