@@ -1,4 +1,4 @@
-"""Performance rules (HOT001): keep the simulation hot path allocation-lean.
+"""Performance rules (HOT001/HOT002): keep the simulation hot path allocation-lean.
 
 The hot-path refactor (see DESIGN.md §10) removed per-event closure and
 lambda construction from the functions that execute once per simulated
@@ -79,4 +79,94 @@ class NoClosuresOnHotPath(Rule):
         for fragment, funcs in HOT_FUNCTIONS.items():
             if ctx.in_package(fragment):
                 names |= funcs
+        return frozenset(names)
+
+
+#: file fragment -> class names instantiated per message/node/entry, which
+#: must declare ``__slots__`` (directly or via ``@dataclass(slots=True)``).
+#: ``"*"`` means every class defined in the file (used for the wire-message
+#: module, where each class IS a per-message allocation).  A class that
+#: deliberately keeps a ``__dict__`` (e.g. a grab-bag stats object created
+#: once per run) belongs in a suppression with a justification, not here.
+HOT_CLASSES: Dict[str, FrozenSet[str]] = {
+    "repro/sim/engine.py": frozenset({"EventHandle"}),
+    "repro/sim/periodic.py": frozenset({"PeriodicTask"}),
+    "repro/pastry/messages.py": frozenset({"*"}),
+    "repro/pastry/nodeid.py": frozenset({"NodeDescriptor"}),
+    "repro/pastry/leafset.py": frozenset({"LeafSet"}),
+    "repro/pastry/routingtable.py": frozenset({"RoutingTable"}),
+    "repro/pastry/rto.py": frozenset({"RttEstimator", "RtoTable"}),
+    "repro/pastry/acks.py": frozenset({"PendingHop", "HopAckManager"}),
+    "repro/pastry/pns.py": frozenset({"_Measurement", "ProximityManager"}),
+    "repro/faults/state.py": frozenset({"GrayFailure", "FaultState"}),
+    "repro/metrics/collector.py": frozenset({"ActiveIntegrator", "LookupRecord"}),
+}
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    """Whether a class pins its layout: a ``__slots__`` assignment in the
+    body, or a ``@dataclass(..., slots=True)`` decorator."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__slots__"):
+                return True
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (kw.arg == "slots" and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True):
+                return True
+    return False
+
+
+@register
+class SlotsOnHotClasses(Rule):
+    """HOT002: hot-path classes must declare ``__slots__``."""
+
+    code = "HOT002"
+    name = "slots-on-hot-classes"
+    severity = "warning"
+    description = (
+        "Classes instantiated per message, per node or per routing-state "
+        "entry exist in the hundreds of thousands at paper scale; an "
+        "unslotted instance carries a per-object __dict__ (~100 bytes of "
+        "pure overhead).  Declare __slots__ or use @dataclass(slots=True); "
+        "if a class legitimately needs a __dict__, suppress with a "
+        "justification instead of delisting it."
+    )
+    packages = tuple(HOT_CLASSES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        hot_names = self._hot_names_for(ctx)
+        if not hot_names:
+            return
+        everything = "*" in hot_names
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not everything and node.name not in hot_names:
+                continue
+            if not _declares_slots(node):
+                yield self.finding(
+                    ctx, node,
+                    f"hot-path class {node.name} has no __slots__ (and no "
+                    f"@dataclass(slots=True)); every instance pays for a "
+                    f"__dict__ — declare its attribute layout")
+
+    def _hot_names_for(self, ctx: FileContext) -> FrozenSet[str]:
+        names: set = set()
+        for fragment, classes in HOT_CLASSES.items():
+            if ctx.in_package(fragment):
+                names |= classes
         return frozenset(names)

@@ -27,12 +27,15 @@ from __future__ import annotations
 import json
 import platform
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: bump when the JSON layout changes incompatibly
-SCHEMA = "repro-bench-sim-core/1"
+SCHEMA = "repro-bench-sim-core/2"
+#: previous schema, accepted read-only and migrated (see _migrate_v1)
+SCHEMA_V1 = "repro-bench-sim-core/1"
 #: default output file, at the repo root so the trajectory is versioned
 DEFAULT_OUT = "BENCH_sim_core.json"
 #: scenarios the ISSUE's >= 1.5x acceptance target is measured on
@@ -166,6 +169,31 @@ def _scenario_overlay_churn(quick: bool) -> Tuple[int, str]:
     return runner.sim.events_executed, fingerprint
 
 
+def _scenario_corporate_slice(quick: bool) -> Tuple[int, str]:
+    """A calibration-scale slice of the paper's Microsoft corporate run.
+
+    Uses :func:`repro.experiments.full_scale.build_full_run` with the same
+    presets as the 20k-machine headline setup — the Microsoft desktop trace
+    on the CorpNet topology it was measured on — scaled down by the trace
+    ``scale``/``duration`` overrides so the new workload is pinned in the
+    perf trajectory without costing hours.
+    """
+    from repro.experiments.full_scale import build_full_run
+
+    scale = 0.005 if quick else 0.02  # ~75 / ~300 of the 15,150 avg machines
+    duration = 1800.0 if quick else 3600.0
+    runner, trace = build_full_run(
+        "microsoft", "corpnet", seed=77, scale=scale, duration=duration
+    )
+    result = runner.run(trace)
+    fingerprint = (
+        f"{runner.sim.events_executed}:{runner.network.messages_sent}:"
+        f"{runner.network.messages_delivered}:{result.stats.n_lookups}:"
+        f"{result.final_active}"
+    )
+    return runner.sim.events_executed, fingerprint
+
+
 def _scenario_topology_delay(quick: bool) -> Tuple[int, str]:
     """Raw delay lookups over the GATech transit-stub router graph."""
     import random
@@ -186,27 +214,38 @@ def _scenario_topology_delay(quick: bool) -> Tuple[int, str]:
     return queries, f"{acc:.9f}:{topo.n_routers}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BenchScenario:
     name: str
     description: str
     unit: str
     fn: Callable[[bool], Tuple[int, str]]
+    #: bumped when the *format* of this scenario's fingerprint changes
+    #: (e.g. a new counter joins the string); fingerprints are only ever
+    #: compared between identical versions — see run_bench.
+    fingerprint_version: int = 1
 
 
 SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "engine_events", "fire-and-forget event chains (engine only)",
         "events", _scenario_engine_events),
+    # fingerprint_version 2: the format gained the live_events counter when
+    # the compacting engine landed (the pre-refactor baseline recorded
+    # ':None' in that position — a different format, not a different
+    # outcome, so the two must never be diffed).
     BenchScenario(
         "engine_timers", "arm-and-cancel timer churn (lazy cancellation)",
-        "events", _scenario_engine_timers),
+        "events", _scenario_engine_timers, fingerprint_version=2),
     BenchScenario(
         "transport_echo", "16-node echo storm, no loss/faults/stats",
         "messages", _scenario_transport_echo),
     BenchScenario(
         "overlay_churn", "Gnutella join/churn slice on GATech (fig4 setup)",
         "events", _scenario_overlay_churn),
+    BenchScenario(
+        "corporate_slice", "Microsoft trace slice on CorpNet (paper headline)",
+        "events", _scenario_corporate_slice),
     BenchScenario(
         "topology_delay", "transit-stub delay lookups (cold + cached rows)",
         "queries", _scenario_topology_delay),
@@ -217,29 +256,83 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
 # Execution and reporting
 # ----------------------------------------------------------------------
 
+def _peak_rss_kb() -> Optional[int]:
+    """OS-reported high-water RSS.  Monotone over the process lifetime, so
+    across a multi-scenario run it is only an upper bound per scenario; the
+    per-scenario memory signal is ``tracemalloc_peak_kb``."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def run_scenario(scenario: BenchScenario, quick: bool) -> Dict[str, object]:
-    """Time one scenario.  Two runs: a determinism check plus best-of-2."""
-    observations: List[Tuple[int, float, str]] = []
-    for _ in range(2):
-        started = time.perf_counter()
-        work, fingerprint = scenario.fn(quick)
-        elapsed = time.perf_counter() - started
-        observations.append((work, elapsed, fingerprint))
-    (work_a, _, fp_a), (work_b, _, fp_b) = observations
+    """Time and measure one scenario.
+
+    Two runs.  The first is uninstrumented and supplies the timing; the
+    second runs under tracemalloc (2-5x slower, so it is excluded from the
+    timing) and supplies the memory columns.  Both must produce the same
+    fingerprint — the same-seed determinism self-check.
+    """
+    started = time.perf_counter()
+    work_a, fp_a = scenario.fn(quick)
+    elapsed = time.perf_counter() - started
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    work_b, fp_b = scenario.fn(quick)
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
     if fp_a != fp_b or work_a != work_b:
         raise BenchError(
             f"{scenario.name}: non-deterministic outcome — "
             f"{fp_a!r}/{work_a} vs {fp_b!r}/{work_b}"
         )
-    best = min(elapsed for _, elapsed, _ in observations)
     return {
         "description": scenario.description,
         "unit": scenario.unit,
         "work": work_a,
-        "wall_s": round(best, 4),
-        "rate_per_s": round(work_a / best, 1) if best > 0 else 0.0,
+        "wall_s": round(elapsed, 4),
+        "rate_per_s": round(work_a / elapsed, 1) if elapsed > 0 else 0.0,
         "fingerprint": fp_a,
+        "fingerprint_version": scenario.fingerprint_version,
+        "tracemalloc_peak_kb": round(peak / 1024.0, 1),
+        "tracemalloc_current_kb": round(current / 1024.0, 1),
+        "peak_rss_kb": _peak_rss_kb(),
     }
+
+
+def _migrate_v1(data: Dict) -> Dict:
+    """Lift a schema/1 file into the schema/2 shape, read-only.
+
+    Rates carry over (the workloads are unchanged), but schema/1 recorded
+    fingerprints without a format version — the stale ``engine_timers``
+    baseline literally ends ``:None`` where current runs record a counter.
+    Migrated results are stamped ``fingerprint_version: 0`` (never matches
+    a real version, so cross-schema fingerprints are *refused* rather than
+    silently diffed) and the baseline is re-labelled to say so.
+    """
+    migrated = dict(data)
+    migrated["schema"] = SCHEMA
+    migrated["migrated_from"] = SCHEMA_V1
+    baseline = data.get("baseline")
+    if baseline:
+        baseline = dict(baseline)
+        label = str(baseline.get("label", ""))
+        if not label.endswith("[schema 1]"):
+            baseline["label"] = f"{label} [schema 1]".strip()
+        baseline["results"] = {
+            name: {**entry, "fingerprint_version": 0}
+            for name, entry in baseline.get("results", {}).items()
+        }
+        migrated["baseline"] = baseline
+    migrated["results"] = {
+        name: {**entry, "fingerprint_version": 0}
+        for name, entry in data.get("results", {}).items()
+    }
+    return migrated
 
 
 def _load_existing(path: Path) -> Optional[Dict]:
@@ -249,7 +342,11 @@ def _load_existing(path: Path) -> Optional[Dict]:
         data = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         raise BenchError(f"unreadable bench file {path}: {exc}") from exc
-    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+    if not isinstance(data, dict):
+        raise BenchError(f"{path} is not a bench report")
+    if data.get("schema") == SCHEMA_V1:
+        return _migrate_v1(data)
+    if data.get("schema") != SCHEMA:
         raise BenchError(
             f"{path} has schema {data.get('schema')!r}, expected {SCHEMA!r}; "
             f"move it aside or pass --rebaseline to a fresh --out path"
@@ -268,6 +365,38 @@ def _speedups(results: Dict[str, Dict], baseline: Optional[Dict]) -> Dict[str, f
             continue
         speedups[name] = round(entry["rate_per_s"] / base["rate_per_s"], 3)
     return speedups
+
+
+def _fingerprint_status(
+    results: Dict[str, Dict], baseline: Optional[Dict]
+) -> Dict[str, str]:
+    """Compare each scenario's fingerprint against the baseline's.
+
+    Fingerprints are only diffed when both sides recorded the same
+    fingerprint *format* version.  A version mismatch is refused and
+    labelled, never silently compared: the stale schema/1 ``engine_timers``
+    baseline literally ends ``:None`` where current runs record a
+    live-event count, so a plain string comparison would report a
+    behaviour change that never happened (or, worse, mask one).
+    """
+    statuses: Dict[str, str] = {}
+    base_results = (baseline or {}).get("results", {})
+    for name, entry in results.items():
+        base = base_results.get(name)
+        if not base or "fingerprint" not in base:
+            statuses[name] = "no-baseline"
+            continue
+        base_version = base.get("fingerprint_version", 0)
+        if base_version != entry["fingerprint_version"]:
+            statuses[name] = (
+                f"format-change v{base_version}->"
+                f"v{entry['fingerprint_version']}: not compared"
+            )
+        elif base["fingerprint"] == entry["fingerprint"]:
+            statuses[name] = "match"
+        else:
+            statuses[name] = "CHANGED"
+    return statuses
 
 
 def run_bench(
@@ -301,16 +430,20 @@ def run_bench(
     baseline = existing.get("baseline") if existing else None
     if rebaseline or baseline is None:
         baseline = {"label": label or mode, "mode": mode, "results": results}
-    # Speedups are only meaningful against a baseline of the same mode:
-    # quick and full runs use different workload sizes.
+    # Speedups and fingerprint diffs are only meaningful against a baseline
+    # of the same mode: quick and full runs use different workload sizes.
     comparable = baseline if baseline.get("mode") == mode else None
     speedups = _speedups(results, comparable)
+    fingerprints = _fingerprint_status(results, comparable)
 
     history = list(existing.get("history", [])) if existing else []
     history.append({
         "label": label or mode,
         "mode": mode,
         "rates": {name: entry["rate_per_s"] for name, entry in results.items()},
+        "tracemalloc_peak_kb": {
+            name: entry["tracemalloc_peak_kb"] for name, entry in results.items()
+        },
     })
 
     report = {
@@ -323,8 +456,11 @@ def run_bench(
         "results": results,
         "baseline": baseline,
         "speedup": speedups,
+        "fingerprint_vs_baseline": fingerprints,
         "history": history,
     }
+    if existing and existing.get("migrated_from"):
+        report["migrated_from"] = existing["migrated_from"]
     path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     return report, render_report(report)
 
@@ -333,20 +469,30 @@ def render_report(report: Dict) -> str:
     lines = [
         f"repro bench ({report['mode']}) — python {report['python']}",
         f"{'scenario':16s} {'work':>9s} {'wall_s':>8s} "
-        f"{'rate/s':>12s} {'vs baseline':>12s}",
+        f"{'rate/s':>12s} {'peak_kb':>10s} {'vs baseline':>12s} {'fp':>8s}",
     ]
     speedups = report.get("speedup", {})
+    fingerprints = report.get("fingerprint_vs_baseline", {})
     for name, entry in report["results"].items():
         speed = speedups.get(name)
         speed_text = f"{speed:.2f}x" if speed is not None else "-"
+        status = fingerprints.get(name, "-")
+        fp_text = {
+            "match": "ok", "no-baseline": "-", "CHANGED": "CHANGED",
+        }.get(status, "format")
         lines.append(
             f"{name:16s} {entry['work']:>9d} {entry['wall_s']:>8.3f} "
-            f"{entry['rate_per_s']:>12,.0f} {speed_text:>12s}"
+            f"{entry['rate_per_s']:>12,.0f} "
+            f"{entry['tracemalloc_peak_kb']:>10,.0f} "
+            f"{speed_text:>12s} {fp_text:>8s}"
         )
     baseline = report.get("baseline") or {}
     lines.append(
         f"baseline: {baseline.get('label', '-')} ({baseline.get('mode', '-')})"
     )
+    for name, status in fingerprints.items():
+        if status.startswith("format-change"):
+            lines.append(f"note: {name} fingerprint {status}")
     return "\n".join(lines)
 
 
@@ -354,10 +500,16 @@ def verify_report_schema(report: Dict) -> None:
     """Structural sanity check used by tests and the CI smoke job."""
     if report.get("schema") != SCHEMA:
         raise BenchError(f"bad schema: {report.get('schema')!r}")
-    for key in ("mode", "results", "baseline", "history"):
+    for key in ("mode", "results", "baseline", "history",
+                "fingerprint_vs_baseline"):
         if key not in report:
             raise BenchError(f"missing key: {key}")
     for name, entry in report["results"].items():
-        for field in ("unit", "work", "wall_s", "rate_per_s", "fingerprint"):
+        for field in ("unit", "work", "wall_s", "rate_per_s", "fingerprint",
+                      "fingerprint_version", "tracemalloc_peak_kb",
+                      "tracemalloc_current_kb", "peak_rss_kb"):
             if field not in entry:
                 raise BenchError(f"results[{name!r}] missing {field!r}")
+    for entry in report["history"]:
+        if "rates" not in entry or "label" not in entry:
+            raise BenchError("history entry missing rates/label")

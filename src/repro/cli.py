@@ -145,6 +145,32 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.profiler import (
+        ProfileError,
+        render_profile,
+        run_profile,
+        write_profile,
+    )
+
+    try:
+        report = run_profile(
+            args.target,
+            kind=args.kind,
+            mode=args.mode,
+            top_n=args.top,
+            seed=args.seed,
+            scale=args.scale,
+            duration=args.duration,
+        )
+        path = write_profile(report, args.out)
+    except ProfileError as exc:
+        return _fail(str(exc), status=2)
+    print(render_profile(report))
+    print(f"written: {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import (
         AnalysisError,
@@ -244,6 +270,30 @@ def main(argv=None) -> int:
                        metavar="NAME",
                        help="only run the given scenario(s) (repeatable)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile an experiment or bench scenario (cProfile + tracemalloc)")
+    profile.add_argument("target",
+                         help="experiment name (see `repro list`) or bench "
+                              "scenario name (see `repro bench`)")
+    profile.add_argument("--kind", choices=("auto", "experiment", "bench"),
+                         default="auto",
+                         help="disambiguate the target namespace "
+                              "(default: experiments first, then scenarios)")
+    profile.add_argument("--mode", choices=("full", "smoke"), default="full",
+                         help="smoke: tiny workload (bench --quick sizes / "
+                              "scaled-down experiment), for CI")
+    profile.add_argument("--top", type=int, default=25,
+                         help="hotspot rows to keep (default: 25)")
+    profile.add_argument("--out", default=None,
+                         help="artifact path (default: benchmarks/results/"
+                              "profile_<kind>_<target>_<mode>.json)")
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument("--scale", type=float, default=None,
+                         help="experiment trace/population scale override")
+    profile.add_argument("--duration", type=float, default=None,
+                         help="experiment simulated seconds override")
+
     lint = sub.add_parser(
         "lint", help="run detlint static analysis (determinism contracts)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -273,6 +323,8 @@ def main(argv=None) -> int:
         return cmd_report(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "lint":
         return cmd_lint(args)
 

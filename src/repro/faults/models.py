@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GEParams:
     """Gilbert–Elliott channel parameters.
 
@@ -107,7 +107,7 @@ class GilbertElliott:
         return p > 0.0 and self._rng.random() < p
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JitterParams:
     """Delay jitter and latency spikes added on top of the topology delay.
 

@@ -20,7 +20,7 @@ from repro.faults.models import GEParams, GilbertElliott, JitterParams
 from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GrayFailure:
     """A node that stays registered but misbehaves.
 
@@ -62,6 +62,8 @@ class FaultState:
     derived from the master seed), so fault injection is deterministic and
     does not perturb any other subsystem's draws.
     """
+
+    __slots__ = ("sim", "_rng", "_groups", "_gray", "_burst", "_links", "_jitter", "drops")
 
     def __init__(self, sim: Simulator, rng: random.Random) -> None:
         self.sim = sim

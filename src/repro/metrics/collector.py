@@ -33,6 +33,8 @@ def _window_counter() -> Dict[int, int]:
 class ActiveIntegrator:
     """Integrates the active-node count into node-seconds per window."""
 
+    __slots__ = ("window", "count", "_last_time", "node_seconds", "total_node_seconds")
+
     def __init__(self, window: float) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -60,7 +62,7 @@ class ActiveIntegrator:
             raise ValueError("active count went negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupRecord:
     key: int
     source_addr: int

@@ -18,7 +18,7 @@ from repro.pastry.nodeid import NodeDescriptor
 from repro.sim.engine import EventHandle, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingHop:
     """A forwarded lookup awaiting its per-hop ack."""
 
@@ -42,6 +42,19 @@ class HopAckManager:
     * ``suspect(desc)`` — temporarily exclude a node and probe it,
     * ``on_drop(msg)`` — the message exhausted its reroute budget.
     """
+
+    __slots__ = (
+        "_sim",
+        "_rto",
+        "_max_reroutes",
+        "_reroute",
+        "_suspect",
+        "_on_drop",
+        "_same_hop_retransmits",
+        "_resend",
+        "_probe",
+        "_pending",
+    )
 
     def __init__(
         self,

@@ -5,21 +5,41 @@ needed for consistent routing (paper §3.1).  With fewer than ``l`` known
 members the two sides wrap around the ring and overlap — that overlap is how
 we detect that the leaf set spans the entire (known) ring, which is the
 completeness condition for small overlays.
+
+Storage is a sorted ring (parallel arrays of clockwise distance and
+descriptor, maintained with ``bisect``) so the two sides are O(half) slices
+instead of a full re-sort per read after every membership change; clockwise
+distances from the owner are unique, so the slices are exactly the lists
+the previous ``sorted()``-per-access implementation produced and the
+protocol-visible iteration orders (``members()``, pruning) are unchanged.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional
 
 from repro.pastry.nodeid import (
+    ID_SPACE,
     NodeDescriptor,
-    clockwise_distance,
-    counter_clockwise_distance,
     is_closer_root,
 )
 
 
 class LeafSet:
+    __slots__ = (
+        "owner",
+        "size",
+        "version",
+        "_members",
+        "_owner_id",
+        "_half",
+        "_ring_keys",
+        "_ring",
+        "_left",
+        "_right",
+    )
+
     def __init__(self, owner: NodeDescriptor, size: int) -> None:
         if size < 2 or size % 2 != 0:
             raise ValueError(f"leaf set size must be even and >= 2: {size}")
@@ -27,6 +47,12 @@ class LeafSet:
         self.size = size  # l
         self.version = 0  # bumped on every membership change
         self._members: Dict[int, NodeDescriptor] = {}
+        self._owner_id = owner.id
+        self._half = size // 2
+        # Sorted ring: clockwise distance from the owner (ascending, unique)
+        # and the member descriptors in the same order.
+        self._ring_keys: List[int] = []
+        self._ring: List[NodeDescriptor] = []
         self._left: Optional[List[NodeDescriptor]] = None
         self._right: Optional[List[NodeDescriptor]] = None
 
@@ -35,12 +61,19 @@ class LeafSet:
     # ------------------------------------------------------------------
     def add(self, desc: NodeDescriptor) -> bool:
         """Insert a node; returns True if it is a member afterwards."""
-        if desc.id == self.owner.id:
+        if desc.id == self._owner_id:
             return False
         previous = self._members.get(desc.id)
         if previous is not None and previous.addr == desc.addr:
             return True  # already a member, nothing changed
         self._members[desc.id] = desc
+        cw = (desc.id - self._owner_id) % ID_SPACE
+        i = bisect_left(self._ring_keys, cw)
+        if previous is None:
+            self._ring_keys.insert(i, cw)
+            self._ring.insert(i, desc)
+        else:
+            self._ring[i] = desc  # same id, same distance: address update
         self._invalidate()
         self._prune()
         admitted = desc.id in self._members
@@ -51,16 +84,30 @@ class LeafSet:
     def remove(self, node_id: int) -> bool:
         if self._members.pop(node_id, None) is None:
             return False
+        cw = (node_id - self._owner_id) % ID_SPACE
+        i = bisect_left(self._ring_keys, cw)
+        del self._ring_keys[i]
+        del self._ring[i]
         self.version += 1
         self._invalidate()
         return True
 
     def _prune(self) -> None:
-        """Drop members that fall outside both sides."""
+        """Drop members that fall outside both sides.
+
+        The two sides are the ring's head and tail slices, so anything
+        pruned is exactly the ring's middle; the ``_members`` rebuild keeps
+        the historical set-iteration insertion order (protocol-visible via
+        ``members()``).
+        """
+        if len(self._ring) <= self.size:
+            return  # both sides cover every member
         keep = {d.id for d in self.left_side} | {d.id for d in self.right_side}
-        if len(keep) != len(self._members):
-            self._members = {i: self._members[i] for i in keep}
-            self._invalidate()
+        self._members = {i: self._members[i] for i in keep}
+        half = self._half
+        del self._ring_keys[half:-half]
+        del self._ring[half:-half]
+        self._invalidate()
 
     def _invalidate(self) -> None:
         self._left = None
@@ -73,22 +120,17 @@ class LeafSet:
     def left_side(self) -> List[NodeDescriptor]:
         """Members counter-clockwise of the owner, closest first."""
         if self._left is None:
-            ordered = sorted(
-                self._members.values(),
-                key=lambda d: counter_clockwise_distance(self.owner.id, d.id),
-            )
-            self._left = ordered[: self.size // 2]
+            # Counter-clockwise distance is ID_SPACE - clockwise distance,
+            # so closest-first on the left is the ring tail, reversed.
+            n = len(self._ring)
+            self._left = self._ring[max(0, n - self._half):][::-1]
         return self._left
 
     @property
     def right_side(self) -> List[NodeDescriptor]:
         """Members clockwise of the owner, closest first."""
         if self._right is None:
-            ordered = sorted(
-                self._members.values(),
-                key=lambda d: clockwise_distance(self.owner.id, d.id),
-            )
-            self._right = ordered[: self.size // 2]
+            self._right = self._ring[: self._half]
         return self._right
 
     @property
@@ -141,10 +183,10 @@ class LeafSet:
     @property
     def complete(self) -> bool:
         """True when both sides are full or the set wraps the whole ring."""
-        if len(self._members) == 0:
+        n = len(self._members)
+        if n == 0:
             return False
-        half = self.size // 2
-        if len(self.left_side) == half and len(self.right_side) == half:
+        if n >= self._half:  # both closest-first sides hold a full half
             return True
         return self.wrapped()
 
@@ -157,8 +199,8 @@ class LeafSet:
         leftmost, rightmost = self.leftmost, self.rightmost
         if leftmost is None or rightmost is None:
             return False  # one side empty: deliveries are suspended (§3.1)
-        span = clockwise_distance(leftmost.id, rightmost.id)
-        return clockwise_distance(leftmost.id, key) <= span
+        span = (rightmost.id - leftmost.id) % ID_SPACE
+        return (key - leftmost.id) % ID_SPACE <= span
 
     def would_admit(self, desc: NodeDescriptor) -> bool:
         """Whether ``desc`` would become a member if added (without adding).
@@ -167,17 +209,17 @@ class LeafSet:
         immediately: a candidate is admissible when either side is not full
         or it is closer than the current extreme on that side.
         """
-        if desc.id == self.owner.id or desc.id in self._members:
+        if desc.id == self._owner_id or desc.id in self._members:
             return False
-        half = self.size // 2
-        left, right = self.left_side, self.right_side
-        admit_left = len(left) < half or counter_clockwise_distance(
-            self.owner.id, desc.id
-        ) < counter_clockwise_distance(self.owner.id, left[-1].id)
-        admit_right = len(right) < half or clockwise_distance(
-            self.owner.id, desc.id
-        ) < clockwise_distance(self.owner.id, right[-1].id)
-        return admit_left or admit_right
+        n = len(self._ring)
+        half = self._half
+        if n < half:
+            return True  # neither side is full yet
+        cw = (desc.id - self._owner_id) % ID_SPACE
+        # Closer than the right extreme (ring head holds the smallest
+        # clockwise distances) or the left extreme (ring tail, since
+        # counter-clockwise distance is ID_SPACE - clockwise distance).
+        return cw < self._ring_keys[half - 1] or cw > self._ring_keys[n - half]
 
     def closest_to(self, key: int) -> NodeDescriptor:
         """Member (or owner) with minimal ring distance to ``key``."""

@@ -28,14 +28,14 @@ CAT_RT_MAINT = "rt_maintenance"
 CAT_LOOKUP = "lookup"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     category = "unknown"
     sender: NodeDescriptor = field(default=None)
     tuning_hint: Optional[float] = field(default=None)
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinRequest(Message):
     category = CAT_JOIN
     #: join requests are routed like lookups and, like them, per-hop acked
@@ -48,14 +48,14 @@ class JoinRequest(Message):
     rows: Dict[int, List[NodeDescriptor]] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinReply(Message):
     category = CAT_JOIN
     rows: Dict[int, List[NodeDescriptor]] = field(default_factory=dict)
     leaf_set: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class LsProbe(Message):
     """Leaf set probe (Figure 2): carries the sender's leaf set and failed set."""
 
@@ -64,21 +64,21 @@ class LsProbe(Message):
     failed: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class LsProbeReply(Message):
     category = CAT_LEAFSET
     leaf_set: List[NodeDescriptor] = field(default_factory=list)
     failed: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Heartbeat(Message):
     """Sent every Tls to the left neighbour only (§4.1)."""
 
     category = CAT_HEARTBEAT
 
 
-@dataclass
+@dataclass(slots=True)
 class RtProbe(Message):
     """Liveness probe for a routing-table entry."""
 
@@ -86,13 +86,13 @@ class RtProbe(Message):
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RtProbeReply(Message):
     category = CAT_RT_PROBE
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DistanceProbe(Message):
     """Round-trip measurement probe for proximity neighbour selection."""
 
@@ -100,13 +100,13 @@ class DistanceProbe(Message):
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DistanceProbeReply(Message):
     category = CAT_DISTANCE
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DistanceReport(Message):
     """Symmetric probing: tells the peer the RTT we measured to it (§4.2)."""
 
@@ -114,7 +114,7 @@ class DistanceReport(Message):
     rtt: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RowAnnounce(Message):
     """A joining node sends row r of its table to each node in that row."""
 
@@ -123,7 +123,7 @@ class RowAnnounce(Message):
     entries: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class RowRequest(Message):
     """Periodic routing-table maintenance: ask a row member for its row."""
 
@@ -131,14 +131,14 @@ class RowRequest(Message):
     row: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RowReply(Message):
     category = CAT_RT_MAINT
     row: int = 0
     entries: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotRequest(Message):
     """Passive repair: ask the next hop for an entry for an empty slot."""
 
@@ -147,7 +147,7 @@ class SlotRequest(Message):
     col: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotReply(Message):
     category = CAT_RT_MAINT
     row: int = 0
@@ -155,7 +155,7 @@ class SlotReply(Message):
     entry: Optional[NodeDescriptor] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LeafSetRequest(Message):
     """Generalized leaf-set repair: ask for the l+1 closest nodes to a key."""
 
@@ -163,14 +163,14 @@ class LeafSetRequest(Message):
     key: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LeafSetReply(Message):
     category = CAT_LEAFSET
     key: int = 0
     nodes: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Lookup(Message):
     """Application lookup routed to the key's root (§2)."""
 
@@ -187,7 +187,7 @@ class Lookup(Message):
     deferrals: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack(Message):
     """Per-hop acknowledgement for a routed message — Lookup or JoinRequest (§3.2)."""
 
@@ -206,20 +206,20 @@ CONTROL_CATEGORIES: Tuple[str, ...] = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class StateRequest(Message):
     """Nearest-neighbour seed discovery: ask a node for its routing state."""
 
     category = CAT_JOIN
 
 
-@dataclass
+@dataclass(slots=True)
 class StateReply(Message):
     category = CAT_JOIN
     nodes: List[NodeDescriptor] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class AppDirect(Message):
     """Application-level point-to-point message (counted as app traffic)."""
 

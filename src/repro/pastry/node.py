@@ -38,6 +38,7 @@ from repro.pastry.leafset import LeafSet
 from repro.pastry.nodeid import (
     NodeDescriptor,
     digit,
+    intern_descriptor,
     is_closer_root,
     ring_distance,
     shared_prefix_length,
@@ -56,7 +57,7 @@ MAX_BUFFERED = 128
 MAX_FAILED_REMEMBERED = 128
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProbeState:
     desc: NodeDescriptor
     retries: int
@@ -86,7 +87,7 @@ class MSPastryNode:
         self.config = config
         self.rng = rng
         self.addr = network.attach()
-        self.descriptor = NodeDescriptor(node_id, self.addr)
+        self.descriptor = intern_descriptor(node_id, self.addr)
         self.on_active = on_active
         self.on_deliver = on_deliver
         self.on_drop = on_drop
@@ -110,6 +111,26 @@ class MSPastryNode:
         self.last_sent: Dict[int, float] = {}
         #: completed LS-probe exchanges, for candidate-probe suppression
         self._ls_heard: Dict[int, float] = {}
+        # The three maps above are only ever *read* through strict recency
+        # comparisons (`t > now - horizon`), so an entry older than the
+        # largest horizon a reader can use is indistinguishable from an
+        # absent one and can be dropped.  Long-lived nodes would otherwise
+        # remember a timestamp for every peer they ever exchanged a message
+        # with — the dominant per-node memory cost at paper scale.  Pruning
+        # is amortized on insert (cap doubles when a sweep frees nothing),
+        # touches no RNG and schedules no events, so the event stream and
+        # every protocol decision are byte-identical.
+        probe_cycle = (config.max_probe_retries + 1) * config.probe_timeout
+        self._heard_horizon = max(
+            config.state_sweep_period,  # _rt_scan suppression (<= this)
+            config.heartbeat_period + config.probe_timeout,  # _monitor_tick
+            probe_cycle,  # failure-claim contradiction window
+        )
+        self._sent_horizon = config.heartbeat_period  # _heartbeat_to
+        self._ls_heard_horizon = config.candidate_probe_suppression
+        self._heard_cap = 128
+        self._sent_cap = 128
+        self._ls_heard_cap = 128
 
         self.rto_table = RtoTable(
             config.rto_initial,
@@ -185,7 +206,18 @@ class MSPastryNode:
         ):
             msg.tuning_hint = self.tuner.local_period
         self.last_sent[dest.id] = self.sim.now
+        if len(self.last_sent) >= self._sent_cap:
+            self.last_sent, self._sent_cap = self._pruned_recency(
+                self.last_sent, self._sent_horizon)
         self.network.send(self.addr, dest.addr, msg)
+
+    def _pruned_recency(
+        self, table: Dict[int, float], horizon: float
+    ) -> "tuple[Dict[int, float], int]":
+        """Drop entries no reader can distinguish from absent ones."""
+        cutoff = self.sim.now - horizon
+        kept = {k: v for k, v in table.items() if v > cutoff}
+        return kept, max(128, 2 * len(kept))
 
     # ------------------------------------------------------------------
     # Join (paper §2 and Figure 2)
@@ -467,9 +499,15 @@ class MSPastryNode:
 
     def _handle_ls_info(self, sender: NodeDescriptor, msg) -> None:
         """Common processing of LS-PROBE and LS-PROBE-REPLY (Figure 2)."""
+        now = self.sim.now
+        leaf_set = self.leaf_set
+        my_id = self.id
         self._forget_failure(sender.id)
-        self._ls_heard[sender.id] = self.sim.now
-        self.leaf_set.add(sender)
+        self._ls_heard[sender.id] = now
+        if len(self._ls_heard) >= self._ls_heard_cap:
+            self._ls_heard, self._ls_heard_cap = self._pruned_recency(
+                self._ls_heard, self._ls_heard_horizon)
+        leaf_set.add(sender)
         self.consider_for_routing_table(sender)
         # Verify claimed failures of our own leaf-set members ourselves: the
         # member stays until our probe fails (a false claim must not evict a
@@ -480,12 +518,12 @@ class MSPastryNode:
             self.config.max_probe_retries + 1
         ) * self.config.probe_timeout
         for desc in msg.failed:
-            if desc.id == self.id:
+            if desc.id == my_id:
                 continue
-            if desc.id in self.leaf_set:
-                if self.last_heard.get(desc.id, -1e18) > self.sim.now - probe_cycle:
+            if desc.id in leaf_set:
+                if self.last_heard.get(desc.id, -1e18) > now - probe_cycle:
                     continue
-                self.probe(self.leaf_set.get(desc.id))
+                self.probe(leaf_set.get(desc.id))
         # Candidates from the sender's leaf set, probed before inclusion.
         # Suppression: a candidate we exchanged leaf sets with in the last
         # few seconds told us everything a fresh probe would; re-probing it
@@ -498,18 +536,23 @@ class MSPastryNode:
             self.config.candidate_probe_suppression
             if self.config.probe_suppression
             and self.active
-            and self.leaf_set.complete
+            and leaf_set.complete
             else 0.0
         )
-        horizon = self.sim.now - suppress
+        horizon = now - suppress
+        failed = self.failed
+        ls_heard = self._ls_heard
+        members = leaf_set._members
+        would_admit = leaf_set.would_admit
         for desc in msg.leaf_set:
-            if desc.id == self.id or desc.id in self.failed:
+            did = desc.id
+            if did == my_id or did in failed:
                 continue
-            if desc.id in self.leaf_set:
+            if did in members:
                 continue
-            if suppress and self._ls_heard.get(desc.id, -1e18) > horizon:
+            if suppress and ls_heard.get(did, -1e18) > horizon:
                 continue
-            if self.leaf_set.would_admit(desc):
+            if would_admit(desc):
                 self.probe(desc)
 
     def _on_ls_probe(self, sender: NodeDescriptor, msg: m.LsProbe) -> None:
@@ -659,6 +702,20 @@ class MSPastryNode:
     # Failure detection timers (§4.1)
     # ------------------------------------------------------------------
     def _heartbeat_tick(self) -> None:
+        # Opportunistic sweep of the recency maps: the insert-time sweeps
+        # double their cap under probe bursts (a joining node contacts its
+        # whole routing state within one suppression window), and without
+        # further inserts the bloated table would persist.  Piggybacking on
+        # an existing timer keeps the event stream untouched.
+        if len(self.last_sent) >= 128:
+            self.last_sent, self._sent_cap = self._pruned_recency(
+                self.last_sent, self._sent_horizon)
+        if len(self._ls_heard) >= 128:
+            self._ls_heard, self._ls_heard_cap = self._pruned_recency(
+                self._ls_heard, self._ls_heard_horizon)
+        if len(self.last_heard) >= 128:
+            self.last_heard, self._heard_cap = self._pruned_recency(
+                self.last_heard, self._heard_horizon)
         self._retry_failed()
         if self.config.heartbeat_all_leafset:
             # Ablation baseline: heartbeat every member (cost grows with l).
@@ -1155,6 +1212,9 @@ class MSPastryNode:
         if sender is not None and sender.id != self.id:
             sender_id = sender.id
             self.last_heard[sender_id] = self.sim.now
+            if len(self.last_heard) >= self._heard_cap:
+                self.last_heard, self._heard_cap = self._pruned_recency(
+                    self.last_heard, self._heard_horizon)
             self.suspected.discard(sender_id)
             if self._deferred and sender_id in self._deferred:
                 self._flush_deferred_for(sender_id)

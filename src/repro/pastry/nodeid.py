@@ -7,15 +7,17 @@ Routing interprets identifiers as digit strings in base 2^b.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 ID_BITS = 128
 ID_SPACE = 1 << ID_BITS
 HALF_SPACE = ID_SPACE >> 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeDescriptor:
     """Identity of an overlay node: nodeId plus network address."""
 
@@ -26,6 +28,26 @@ class NodeDescriptor:
         return f"Node({self.id:032x}@{self.addr})"
 
 
+_DESCRIPTOR_INTERN: Dict[Tuple[int, int], NodeDescriptor] = {}
+
+
+def intern_descriptor(node_id: int, addr: int) -> NodeDescriptor:
+    """Canonical ``NodeDescriptor`` for ``(node_id, addr)``.
+
+    Every caller asking for the same identity gets the *same* object, so a
+    live node is represented by one descriptor shared by reference across
+    leaf sets, routing tables and in-flight messages instead of thousands
+    of equal copies.  The table is bounded by the number of distinct nodes
+    ever created in the process (descriptors are a few dozen bytes each).
+    """
+    key = (node_id, addr)
+    desc = _DESCRIPTOR_INTERN.get(key)
+    if desc is None:
+        desc = NodeDescriptor(node_id, addr)
+        _DESCRIPTOR_INTERN[key] = desc
+    return desc
+
+
 def random_nodeid(rng: random.Random) -> int:
     """Uniformly random 128-bit nodeId."""
     return rng.getrandbits(ID_BITS)
@@ -33,8 +55,6 @@ def random_nodeid(rng: random.Random) -> int:
 
 def key_of(data: bytes) -> int:
     """Map arbitrary bytes into the identifier space (SHA-1 style)."""
-    import hashlib
-
     return int.from_bytes(hashlib.sha1(data).digest()[:16], "big")
 
 

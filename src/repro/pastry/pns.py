@@ -30,7 +30,7 @@ from repro.pastry import messages as m
 from repro.pastry.nodeid import NodeDescriptor
 
 
-@dataclass
+@dataclass(slots=True)
 class _Measurement:
     target: NodeDescriptor
     single: bool
@@ -39,6 +39,10 @@ class _Measurement:
     sent: int = 0
     sent_at: Dict[int, float] = field(default_factory=dict)
     timers: Dict[int, object] = field(default_factory=dict)
+    #: handles of the staggered _send_probe events; kept on the measurement
+    #: so they are released the moment it completes (a long-lived node would
+    #: otherwise accumulate hundreds of consumed 72-byte handles).
+    sends: List[object] = field(default_factory=list)
     callbacks: List[Callable[[Optional[float]], None]] = field(default_factory=list)
 
 
@@ -51,13 +55,19 @@ class ProximityManager:
     messages, exactly as a deployment would.
     """
 
+    __slots__ = ("_node", "_config", "_sim", "proximity", "_measuring", "_orphaned_sends")
+
     def __init__(self, node) -> None:
         self._node = node
         self._config = node.config
         self._sim = node.sim
         self.proximity: Dict[int, float] = {}
         self._measuring: Dict[int, _Measurement] = {}
-        self._pending_sends: List[object] = []
+        #: still-scheduled _send_probe handles of *forgotten* measurements.
+        #: They must stay uncancelled (firing them is a no-op, and cancelling
+        #: would perturb the executed-event stream) but cancel_all() has to
+        #: be able to cancel them at crash time, exactly as it always could.
+        self._orphaned_sends: List[object] = []
 
     # ------------------------------------------------------------------
     # Proximity cache
@@ -77,6 +87,13 @@ class ProximityManager:
         if measurement is not None:
             for timer in measurement.timers.values():
                 timer.cancel()
+            if len(self._orphaned_sends) > 16:
+                self._orphaned_sends = [
+                    h for h in self._orphaned_sends if h.active
+                ]
+            self._orphaned_sends.extend(
+                h for h in measurement.sends if h.active
+            )
 
     # ------------------------------------------------------------------
     # Distance measurement
@@ -106,14 +123,12 @@ class ProximityManager:
         measurement = _Measurement(target=target, single=single)
         if callback is not None:
             measurement.callbacks.append(callback)
-        if len(self._pending_sends) > 256:
-            self._pending_sends = [h for h in self._pending_sends if h.active]
         self._measuring[target.id] = measurement
         n_probes = 1 if single else self._config.distance_probe_count
         for i in range(n_probes):
             delay = i * self._config.distance_probe_spacing
             handle = self._sim.schedule(delay, self._send_probe, target.id)
-            self._pending_sends.append(handle)
+            measurement.sends.append(handle)
 
     def _send_probe(self, target_id: int) -> None:
         measurement = self._measuring.get(target_id)
@@ -235,7 +250,9 @@ class ProximityManager:
         for measurement in self._measuring.values():
             for timer in measurement.timers.values():
                 timer.cancel()
+            for handle in measurement.sends:
+                handle.cancel()
         self._measuring.clear()
-        for handle in self._pending_sends:
+        for handle in self._orphaned_sends:
             handle.cancel()
-        self._pending_sends.clear()
+        self._orphaned_sends.clear()

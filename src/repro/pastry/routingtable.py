@@ -4,34 +4,54 @@ The entry at (row r, column c) holds a node whose id shares the first r
 digits with the owner and has digit c at position r.  When proximity
 neighbour selection is enabled, a slot prefers the entry with the smallest
 network proximity among eligible candidates.
+
+Slots are stored in a dict keyed by the flat index ``row * cols + col``
+(one small int instead of a tuple per lookup on the per-message routing
+path); the mapping is bijective, so insertion order — and therefore the
+protocol-visible ``entries()`` order — is identical to the previous
+tuple-keyed storage.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.pastry.nodeid import NodeDescriptor, digit, n_rows, shared_prefix_length
+from repro.pastry.nodeid import ID_BITS, NodeDescriptor, n_rows
 
 
 class RoutingTable:
+    __slots__ = ("owner", "b", "rows", "cols", "_owner_id", "_slots", "_slot_of")
+
     def __init__(self, owner: NodeDescriptor, b: int) -> None:
         self.owner = owner
         self.b = b
         self.rows = n_rows(b)
         self.cols = 1 << b
-        self._slots: Dict[Tuple[int, int], NodeDescriptor] = {}
-        self._slot_of: Dict[int, Tuple[int, int]] = {}  # node id -> (row, col)
+        self._owner_id = owner.id
+        self._slots: Dict[int, NodeDescriptor] = {}  # row * cols + col -> node
+        self._slot_of: Dict[int, int] = {}  # node id -> flat slot index
 
     # ------------------------------------------------------------------
+    def _flat_for(self, node_id: int) -> int:
+        """Flat slot index for ``node_id`` (caller excludes the owner)."""
+        b = self.b
+        xor = node_id ^ self._owner_id
+        row = (ID_BITS - xor.bit_length()) // b
+        shift = ID_BITS - (row + 1) * b
+        if shift >= 0:
+            col = (node_id >> shift) & (self.cols - 1)
+        else:  # partial final digit when b does not divide 128
+            col = node_id & ((1 << (ID_BITS - row * b)) - 1)
+        return row * self.cols + col
+
     def slot_for(self, node_id: int) -> Optional[Tuple[int, int]]:
         """The (row, col) where ``node_id`` belongs, or None for the owner."""
-        if node_id == self.owner.id:
+        if node_id == self._owner_id:
             return None
-        row = shared_prefix_length(node_id, self.owner.id, self.b)
-        return row, digit(node_id, row, self.b)
+        return divmod(self._flat_for(node_id), self.cols)
 
     def get(self, row: int, col: int) -> Optional[NodeDescriptor]:
-        return self._slots.get((row, col))
+        return self._slots.get(row * self.cols + col)
 
     def entry_for(self, node_id: int) -> Optional[NodeDescriptor]:
         slot = self._slot_of.get(node_id)
@@ -47,10 +67,12 @@ class RoutingTable:
         return list(self._slots.values())
 
     def row_entries(self, row: int) -> List[NodeDescriptor]:
-        return [d for (r, _c), d in self._slots.items() if r == row]
+        cols = self.cols
+        return [d for f, d in self._slots.items() if f // cols == row]
 
     def occupied_rows(self) -> List[int]:
-        return sorted({r for (r, _c) in self._slots})
+        cols = self.cols
+        return sorted({f // cols for f in self._slots})
 
     # ------------------------------------------------------------------
     def add(
@@ -65,21 +87,21 @@ class RoutingTable:
         strictly closer (proximity neighbour selection).  Returns True when
         the table changed.
         """
-        slot = self.slot_for(desc.id)
-        if slot is None:
+        if desc.id == self._owner_id:
             return False
-        current = self._slots.get(slot)
+        flat = self._flat_for(desc.id)
+        current = self._slots.get(flat)
         if current is not None and current.id == desc.id:
             if current.addr != desc.addr:  # rejoined under a new address
-                self._slots[slot] = desc
+                self._slots[flat] = desc
                 return True
             return False
         if current is None:
-            self._install(slot, desc)
+            self._install(flat, desc)
             return True
         if proximity is not None and proximity(desc) < proximity(current):
             del self._slot_of[current.id]
-            self._install(slot, desc)
+            self._install(flat, desc)
             return True
         return False
 
@@ -90,9 +112,9 @@ class RoutingTable:
     ) -> int:
         return sum(1 for d in descs if self.add(d, proximity))
 
-    def _install(self, slot: Tuple[int, int], desc: NodeDescriptor) -> None:
-        self._slots[slot] = desc
-        self._slot_of[desc.id] = slot
+    def _install(self, flat: int, desc: NodeDescriptor) -> None:
+        self._slots[flat] = desc
+        self._slot_of[desc.id] = flat
 
     def remove(self, node_id: int) -> bool:
         slot = self._slot_of.pop(node_id, None)
@@ -104,7 +126,6 @@ class RoutingTable:
     # ------------------------------------------------------------------
     def next_hop(self, key: int) -> Optional[NodeDescriptor]:
         """Primary routing step: the entry matching one more digit of ``key``."""
-        row = shared_prefix_length(key, self.owner.id, self.b)
-        if row >= self.rows:
-            return None  # key == owner id
-        return self._slots.get((row, digit(key, row, self.b)))
+        if key == self._owner_id:
+            return None  # shares every digit with the owner: no further hop
+        return self._slots.get(self._flat_for(key))

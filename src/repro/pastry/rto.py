@@ -5,15 +5,32 @@ plus a variance term, exponential backoff on retransmission) but set more
 aggressively than TCP because Pastry can reroute around an unresponsive next
 hop instead of waiting for it.  MSPastry seeds estimators from proximity
 measurements when available.
+
+Storage note: a node keeps an estimator for every destination it ever
+timed, which at paper scale is hundreds of entries per node.  The table
+therefore packs each estimator's two floats (srtt, rttvar) into a single
+``complex`` — two unboxed C doubles in one 32-byte object — instead of a
+Python object with boxed floats (~120 bytes).  The packing is pure storage:
+values round-trip bit-for-bit through ``complex(srtt, rttvar)``, and all
+arithmetic happens on the extracted floats, so estimates are identical to
+the unpacked implementation.  ``srtt = nan`` encodes "no RTT sample yet"
+(a measured RTT is always finite, so nan is unambiguous).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict
+
+_NAN = float("nan")
 
 
 class RttEstimator:
-    """Jacobson-style smoothed RTT with an aggressive multiplier."""
+    """Jacobson-style smoothed RTT with an aggressive multiplier.
+
+    Reference implementation of the estimator update rules;
+    :class:`RtoTable` applies the same arithmetic to packed storage.
+    """
 
     __slots__ = ("srtt", "rttvar", "rto_min", "rto_max", "variance_weight")
 
@@ -58,6 +75,15 @@ class RttEstimator:
 class RtoTable:
     """Per-destination-address RTT estimators with bounded size."""
 
+    __slots__ = (
+        "initial_rto",
+        "rto_min",
+        "rto_max",
+        "max_entries",
+        "variance_weight",
+        "_table",
+    )
+
     def __init__(
         self,
         initial_rto: float = 0.5,
@@ -71,27 +97,41 @@ class RtoTable:
         self.rto_max = rto_max
         self.max_entries = max_entries
         self.variance_weight = variance_weight
-        self._table: Dict[int, RttEstimator] = {}
+        #: addr -> complex(srtt, rttvar); srtt = nan until the first sample
+        self._table: Dict[int, complex] = {}
 
-    def _get(self, addr: int) -> RttEstimator:
-        est = self._table.get(addr)
-        if est is None:
-            if len(self._table) >= self.max_entries:
-                # Evict the oldest insertion (dicts preserve insertion order).
-                self._table.pop(next(iter(self._table)))
-            est = RttEstimator(
-                self.initial_rto, self.rto_min, self.rto_max,
-                variance_weight=self.variance_weight,
-            )
-            self._table[addr] = est
-        return est
+    def _set(self, addr: int, srtt: float, rttvar: float) -> None:
+        if addr not in self._table and len(self._table) >= self.max_entries:
+            # Evict the oldest insertion (dicts preserve insertion order).
+            self._table.pop(next(iter(self._table)))
+        self._table[addr] = complex(srtt, rttvar)
 
     def rto(self, addr: int) -> float:
-        est = self._table.get(addr)
-        return est.rto if est is not None else self.initial_rto
+        entry = self._table.get(addr)
+        if entry is None:
+            return self.initial_rto
+        srtt = entry.real
+        if math.isnan(srtt):
+            base = entry.imag * (1.0 + self.variance_weight)
+        else:
+            base = srtt + self.variance_weight * entry.imag
+        return min(self.rto_max, max(self.rto_min, base))
 
     def sample(self, addr: int, rtt: float) -> None:
-        self._get(addr).sample(rtt)
+        entry = self._table.get(addr)
+        if entry is None or math.isnan(entry.real):
+            self._set(addr, rtt, rtt / 2.0)
+        else:
+            srtt = entry.real
+            rttvar = entry.imag
+            err = rtt - srtt
+            self._table[addr] = complex(
+                srtt + 0.125 * err, rttvar + 0.25 * (abs(err) - rttvar)
+            )
 
     def seed(self, addr: int, rtt: float) -> None:
-        self._get(addr).seed(rtt)
+        entry = self._table.get(addr)
+        if entry is None:
+            self._set(addr, rtt, rtt / 2.0)
+        elif math.isnan(entry.real):
+            self._table[addr] = complex(rtt, rtt / 2.0)

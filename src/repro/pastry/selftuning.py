@@ -75,13 +75,20 @@ def solve_rt_probe_period(
     """
     lo = config.rt_probe_period_min
     hi = config.rt_probe_period_max
-    if raw_loss_rate(lo, mu, n_nodes, config) >= target_lr:
+    # The leaf-set term and hop count of raw_loss_rate do not depend on the
+    # probing period; hoist them so the 64-step bisection only re-evaluates
+    # the Trt-dependent factor.  The arithmetic per evaluation is unchanged,
+    # so the solved period is bit-identical to calling raw_loss_rate.
+    detect_slack = (config.max_probe_retries + 1) * config.probe_timeout
+    leaf_term = 1.0 - prob_faulty(config.heartbeat_period + detect_slack, mu)
+    exp_h = expected_hops(n_nodes, config.b) - 1.0
+    if 1.0 - leaf_term * (1.0 - prob_faulty(lo + detect_slack, mu)) ** exp_h >= target_lr:
         return lo
-    if raw_loss_rate(hi, mu, n_nodes, config) <= target_lr:
+    if 1.0 - leaf_term * (1.0 - prob_faulty(hi + detect_slack, mu)) ** exp_h <= target_lr:
         return hi
     for _ in range(64):
         mid = 0.5 * (lo + hi)
-        if raw_loss_rate(mid, mu, n_nodes, config) < target_lr:
+        if 1.0 - leaf_term * (1.0 - prob_faulty(mid + detect_slack, mu)) ** exp_h < target_lr:
             lo = mid
         else:
             hi = mid
@@ -114,6 +121,8 @@ class FailureRateEstimator:
     with k < K failures, the current time stands in for the missing one.
     """
 
+    __slots__ = ("history_size", "_times")
+
     def __init__(self, history_size: int) -> None:
         if history_size < 1:
             raise ValueError("history_size must be >= 1")
@@ -143,6 +152,8 @@ class FailureRateEstimator:
 
 class SelfTuner:
     """Per-node self-tuning state: local estimate + median of peers' hints."""
+
+    __slots__ = ("config", "failures", "_hints", "local_period", "mu_estimate", "n_estimate")
 
     def __init__(self, config: PastryConfig) -> None:
         self.config = config

@@ -1,0 +1,249 @@
+"""Built-in profiler (``repro profile``): cProfile + tracemalloc wrapper.
+
+Wraps any paper experiment or ``repro bench`` scenario in cProfile (where
+the cycles go) and tracemalloc (where the allocations go), prints a human
+top-N table, and writes a schema-versioned JSON artifact under
+``benchmarks/results/`` so every claimed optimisation is attributable to a
+recorded profile rather than a one-off terminal session.
+
+Like :mod:`repro.bench`, this module reads the wall clock by design and
+therefore lives outside the simulation packages detlint's DET002 guards:
+profiling measures *host* behaviour, not simulated behaviour.  The
+simulated outcome of a profiled run is unchanged by the instrumentation —
+for bench scenarios the artifact records the scenario fingerprint, which
+must match an uninstrumented run bit for bit.
+
+Memory columns: ``tracemalloc_peak_kb`` is the peak of Python-level
+allocations during the profiled call (precise, per-call, resettable);
+``peak_rss_kb`` is the OS-reported process high-water mark, which is
+monotone across a process's lifetime and therefore only an upper bound
+when several targets are profiled in one process.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import inspect
+import json
+import platform
+import pstats
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA = "repro-profile/1"
+#: default artifact directory (versioned alongside the benchmark reports)
+DEFAULT_OUT_DIR = "benchmarks/results"
+#: smoke-mode experiment overrides: finish in seconds on CI runners
+SMOKE_SCALE = 0.02
+SMOKE_DURATION = 60.0
+
+
+class ProfileError(Exception):
+    """Unknown target, bad mode, or a malformed artifact."""
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# ----------------------------------------------------------------------
+# Target resolution
+# ----------------------------------------------------------------------
+
+def resolve_target(name: str, kind: str = "auto") -> Tuple[str, object]:
+    """Find ``name`` among the experiments and bench scenarios.
+
+    Returns ``("experiment", module)`` or ``("bench", BenchScenario)``.
+    With ``kind="auto"`` experiments win name clashes (none exist today).
+    """
+    from repro.bench import SCENARIOS
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if kind not in ("auto", "experiment", "bench"):
+        raise ProfileError(f"unknown kind {kind!r}")
+    if kind in ("auto", "experiment") and name in ALL_EXPERIMENTS:
+        return "experiment", ALL_EXPERIMENTS[name]
+    if kind in ("auto", "bench"):
+        for scenario in SCENARIOS:
+            if scenario.name == name:
+                return "bench", scenario
+    known = sorted(ALL_EXPERIMENTS) + [s.name for s in SCENARIOS]
+    raise ProfileError(
+        f"unknown profile target {name!r}; known targets: {', '.join(known)}"
+    )
+
+
+def _experiment_kwargs(
+    module,
+    mode: str,
+    seed: Optional[int],
+    scale: Optional[float],
+    duration: Optional[float],
+) -> Dict[str, object]:
+    """Map shared flags onto the experiment's run() signature (cli-style)."""
+    signature = inspect.signature(module.run)
+    if mode == "smoke":
+        scale = SMOKE_SCALE if scale is None else scale
+        duration = SMOKE_DURATION if duration is None else duration
+    kwargs: Dict[str, object] = {}
+    if seed is not None and "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    if scale is not None:
+        for name in ("trace_scale", "scale"):
+            if name in signature.parameters:
+                kwargs[name] = scale
+                break
+    if duration is not None and "duration" in signature.parameters:
+        kwargs["duration"] = duration
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+
+def _hotspots(profiler: cProfile.Profile, top_n: int) -> List[Dict[str, object]]:
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append({
+            "function": func,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["file"], r["line"], r["function"]))
+    return rows[:top_n]
+
+
+def run_profile(
+    target: str,
+    kind: str = "auto",
+    mode: str = "full",
+    top_n: int = 25,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> Dict[str, object]:
+    """Profile one experiment or bench scenario; returns the report dict."""
+    if mode not in ("full", "smoke"):
+        raise ProfileError(f"unknown mode {mode!r} (expected 'full' or 'smoke')")
+    resolved_kind, resolved = resolve_target(target, kind)
+
+    if resolved_kind == "bench":
+        quick = mode == "smoke"
+        fn: Callable[[], object] = lambda: resolved.fn(quick)  # noqa: E731
+    else:
+        kwargs = _experiment_kwargs(resolved, mode, seed, scale, duration)
+        fn = lambda: resolved.run(**kwargs)  # noqa: E731
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    value = fn()
+    profiler.disable()
+    wall = time.perf_counter() - started
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    if resolved_kind == "bench":
+        work, fingerprint = value
+        outcome: Dict[str, object] = {"work": work, "fingerprint": fingerprint}
+    else:
+        outcome = {"result_type": type(value).__name__}
+
+    total_calls = sum(nc for (_k, (_cc, nc, _tt, _ct, _c))
+                      in pstats.Stats(profiler).stats.items())
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "kind": resolved_kind,
+        "target": target,
+        "mode": mode,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "wall_s": round(wall, 4),
+        "tracemalloc_peak_kb": round(peak / 1024.0, 1),
+        "tracemalloc_current_kb": round(current / 1024.0, 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "total_calls": total_calls,
+        "hotspots": _hotspots(profiler, top_n),
+        "outcome": outcome,
+    }
+    return report
+
+
+def default_out_path(report: Dict[str, object]) -> Path:
+    return Path(DEFAULT_OUT_DIR) / (
+        f"profile_{report['kind']}_{report['target']}_{report['mode']}.json"
+    )
+
+
+def write_profile(report: Dict[str, object], out: Optional[str] = None) -> Path:
+    path = Path(out) if out else default_out_path(report)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Rendering and validation
+# ----------------------------------------------------------------------
+
+def _short_file(filename: str) -> str:
+    marker = "repro/"
+    idx = filename.rfind(marker)
+    return filename[idx:] if idx >= 0 else filename
+
+
+def render_profile(report: Dict[str, object]) -> str:
+    lines = [
+        f"repro profile — {report['kind']} {report['target']} "
+        f"({report['mode']}) — python {report['python']}",
+        f"wall {report['wall_s']:.3f}s   "
+        f"tracemalloc peak {report['tracemalloc_peak_kb']:,.0f} KB   "
+        f"calls {report['total_calls']:,d}",
+        f"{'cumtime':>9s} {'tottime':>9s} {'ncalls':>10s}  function",
+    ]
+    for row in report["hotspots"]:
+        where = f"{row['function']}  ({_short_file(row['file'])}:{row['line']})"
+        lines.append(
+            f"{row['cumtime_s']:>9.3f} {row['tottime_s']:>9.3f} "
+            f"{row['ncalls']:>10,d}  {where}"
+        )
+    outcome = report.get("outcome") or {}
+    if "fingerprint" in outcome:
+        lines.append(f"fingerprint: {outcome['fingerprint']}")
+    return "\n".join(lines)
+
+
+def verify_profile_schema(report: Dict[str, object]) -> None:
+    """Structural sanity check used by tests and the CI profile-smoke job."""
+    if report.get("schema") != SCHEMA:
+        raise ProfileError(f"bad schema: {report.get('schema')!r}")
+    for key in ("kind", "target", "mode", "wall_s", "tracemalloc_peak_kb",
+                "total_calls", "hotspots", "outcome"):
+        if key not in report:
+            raise ProfileError(f"missing key: {key}")
+    if report["kind"] not in ("experiment", "bench"):
+        raise ProfileError(f"bad kind: {report['kind']!r}")
+    if not isinstance(report["hotspots"], list) or not report["hotspots"]:
+        raise ProfileError("hotspots must be a non-empty list")
+    for row in report["hotspots"]:
+        for field in ("function", "file", "line", "ncalls",
+                      "tottime_s", "cumtime_s"):
+            if field not in row:
+                raise ProfileError(f"hotspot row missing {field!r}")
+    if report["kind"] == "bench" and "fingerprint" not in report["outcome"]:
+        raise ProfileError("bench profile must record the scenario fingerprint")

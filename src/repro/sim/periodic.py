@@ -16,6 +16,8 @@ class PeriodicTask:
     immediately when ``reschedule=True``.
     """
 
+    __slots__ = ("_sim", "_period", "_callback", "_jitter", "_handle", "_stopped")
+
     def __init__(
         self,
         sim: Simulator,

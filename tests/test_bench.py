@@ -15,6 +15,7 @@ from repro.bench import (
     CORE_SCENARIOS,
     SCENARIOS,
     SCHEMA,
+    SCHEMA_V1,
     BenchError,
     run_bench,
     run_scenario,
@@ -105,6 +106,94 @@ def test_no_speedup_across_modes(tmp_path):
                               scenarios=["engine_events"])
     assert report2["speedup"] == {}
     assert "-" in text
+
+
+def test_results_carry_memory_columns(tmp_path):
+    out = tmp_path / "bench.json"
+    report, text = run_bench(quick=True, out=str(out), rebaseline=True,
+                             scenarios=["engine_events"])
+    entry = report["results"]["engine_events"]
+    assert entry["tracemalloc_peak_kb"] > 0
+    assert entry["tracemalloc_current_kb"] >= 0
+    assert entry["fingerprint_version"] == 1
+    assert "peak_kb" in text
+    history = report["history"][-1]
+    assert history["tracemalloc_peak_kb"]["engine_events"] > 0
+
+
+def test_fingerprint_match_against_baseline(tmp_path):
+    out = tmp_path / "bench.json"
+    run_bench(quick=True, out=str(out), rebaseline=True,
+              scenarios=["engine_events"])
+    report, text = run_bench(quick=True, out=str(out),
+                             scenarios=["engine_events"])
+    assert report["fingerprint_vs_baseline"]["engine_events"] == "match"
+    assert " ok" in text
+
+
+def test_fingerprint_changed_is_reported_not_fatal(tmp_path):
+    out = tmp_path / "bench.json"
+    report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
+                          scenarios=["engine_events"])
+    report["baseline"]["results"]["engine_events"]["fingerprint"] = "1:2.0"
+    out.write_text(json.dumps(report))
+    report2, text = run_bench(quick=True, out=str(out),
+                              scenarios=["engine_events"])
+    assert report2["fingerprint_vs_baseline"]["engine_events"] == "CHANGED"
+    assert "CHANGED" in text
+
+
+def test_cross_version_fingerprints_are_refused(tmp_path):
+    """A baseline recorded under another fingerprint format is never diffed,
+    even if the strings happen to be equal — the status says so instead."""
+    out = tmp_path / "bench.json"
+    report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
+                          scenarios=["engine_events"])
+    base_entry = report["baseline"]["results"]["engine_events"]
+    base_entry["fingerprint_version"] = 0  # e.g. migrated from schema/1
+    out.write_text(json.dumps(report))
+    report2, text = run_bench(quick=True, out=str(out),
+                              scenarios=["engine_events"])
+    status = report2["fingerprint_vs_baseline"]["engine_events"]
+    assert status.startswith("format-change")
+    assert "not compared" in status
+    assert "note: engine_events fingerprint format-change" in text
+
+
+def test_v1_file_is_migrated_not_diffed(tmp_path):
+    """A schema/1 bench file loads read-only: the baseline is kept (rates
+    still compare) but re-labelled, and its fingerprints are version-0 so
+    they are refused for comparison rather than silently string-matched."""
+    out = tmp_path / "bench.json"
+    report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
+                          label="old", scenarios=["engine_events"])
+    v1 = json.loads(out.read_text())
+    v1["schema"] = SCHEMA_V1
+    del v1["fingerprint_vs_baseline"]
+    for entry in v1["results"].values():
+        entry.pop("fingerprint_version", None)
+    for entry in v1["baseline"]["results"].values():
+        entry.pop("fingerprint_version", None)
+    # a v1 engine_timers-style fingerprint that records ':None' where the
+    # current format has a counter
+    v1["baseline"]["results"]["engine_events"]["fingerprint"] = "40064:None"
+    out.write_text(json.dumps(v1))
+
+    report2, _ = run_bench(quick=True, out=str(out), scenarios=["engine_events"])
+    assert report2["migrated_from"] == SCHEMA_V1
+    assert report2["baseline"]["label"] == "old [schema 1]"
+    status = report2["fingerprint_vs_baseline"]["engine_events"]
+    assert status.startswith("format-change v0->v1")
+    # rates still carry over: the workloads did not change
+    assert "engine_events" in report2["speedup"]
+    verify_report_schema(report2)
+
+
+def test_corporate_slice_scenario_registered():
+    names = [s.name for s in SCENARIOS]
+    assert "corporate_slice" in names
+    scenario = next(s for s in SCENARIOS if s.name == "corporate_slice")
+    assert scenario.unit == "events"
 
 
 def test_cli_bench_runs_quick(tmp_path, capsys):

@@ -25,7 +25,7 @@ def lint_snippet(source, path=ANY_PATH, select=None):
 def test_registry_has_all_advertised_rules():
     assert REGISTRY.codes() == [
         "DET001", "DET002", "DET003", "DET004", "DET005",
-        "HARN001", "HOT001", "SIM001", "SIM002",
+        "HARN001", "HOT001", "HOT002", "SIM001", "SIM002",
     ]
 
 
@@ -293,6 +293,62 @@ def test_hot001_flags_send_in_transport():
     snippet = ("class N:\n    def send(self, m):\n"
                "        self.q.append(lambda: m)\n")
     assert "HOT001" in lint_snippet(snippet, path=TRANSPORT_PATH)
+
+
+# ----------------------------------------------------------------------
+# HOT002 — __slots__ on hot-path classes
+# ----------------------------------------------------------------------
+RTO_PATH = "src/repro/pastry/rto.py"
+MESSAGES_PATH = "src/repro/pastry/messages.py"
+
+
+def test_hot002_flags_unslotted_hot_class():
+    snippet = "class RtoTable:\n    def __init__(self):\n        self.x = 1\n"
+    assert "HOT002" in lint_snippet(snippet, path=RTO_PATH)
+
+
+@pytest.mark.parametrize("snippet", [
+    # plain __slots__ assignment
+    "class RtoTable:\n    __slots__ = ('x',)\n",
+    # annotated __slots__ assignment
+    "class RtoTable:\n    __slots__: tuple = ('x',)\n",
+    # dataclass with slots=True
+    ("from dataclasses import dataclass\n"
+     "@dataclass(slots=True)\nclass RtoTable:\n    x: int = 0\n"),
+    # a class in a hot file but not in the registry is not checked
+    "class Helper:\n    def __init__(self):\n        self.x = 1\n",
+])
+def test_hot002_clean(snippet):
+    assert "HOT002" not in lint_snippet(snippet, path=RTO_PATH)
+
+
+def test_hot002_dataclass_without_slots_still_flagged():
+    snippet = ("from dataclasses import dataclass\n"
+               "@dataclass(frozen=True)\nclass RtoTable:\n    x: int = 0\n")
+    assert "HOT002" in lint_snippet(snippet, path=RTO_PATH)
+
+
+def test_hot002_star_registry_checks_every_class():
+    """messages.py registers '*': any class defined there is hot."""
+    snippet = "class AnythingAtAll:\n    def __init__(self):\n        self.x = 1\n"
+    assert "HOT002" in lint_snippet(snippet, path=MESSAGES_PATH)
+
+
+def test_hot002_scoped_to_registered_files():
+    snippet = "class RtoTable:\n    def __init__(self):\n        self.x = 1\n"
+    assert "HOT002" not in lint_snippet(snippet, path=ANY_PATH)
+
+
+def test_hot002_suppressible_with_justification():
+    snippet = ("class RtoTable:  # detlint: disable=HOT002 -- debug-only shim\n"
+               "    def __init__(self):\n        self.x = 1\n")
+    from repro.analysis.suppress import parse_suppressions
+    ctx = FileContext.parse(RTO_PATH, snippet)
+    findings = check_file(ctx, REGISTRY.rules())
+    assert "HOT002" in [f.code for f in findings]
+    suppressions = parse_suppressions(RTO_PATH, snippet)
+    kept = [f for f in findings if not suppressions.matches(f)]
+    assert "HOT002" not in [f.code for f in kept]
 
 
 # ----------------------------------------------------------------------

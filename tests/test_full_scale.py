@@ -9,10 +9,51 @@ from repro.experiments.full_scale import (
     estimated_cost,
 )
 
+HOUR = 3600.0
+DAY = 24 * HOUR
+
 
 def test_presets_cover_the_paper():
     assert set(TRACES) == {"gnutella", "overnet", "microsoft"}
     assert set(TOPOLOGIES) == {"gatech", "mercator", "corpnet"}
+
+
+# Published trace statistics, §2 (trace descriptions) and §5.1:
+# trace      duration  mean session  median session  avg active population
+PAPER_TRACE_STATS = {
+    "gnutella": (60 * HOUR, 2.3 * HOUR, 1.0 * HOUR, 2000),
+    "overnet": (7 * DAY, 134 * 60.0, 79 * 60.0, 455),
+    "microsoft": (37 * DAY, 37.7 * HOUR, 30.0 * HOUR, 15150),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_preset_parameters_match_paper(name):
+    model, population_scale = TRACES[name]
+    duration, mean, median, avg_active = PAPER_TRACE_STATS[name]
+    assert population_scale == 1.0  # presets are the full populations
+    assert model.duration == duration
+    assert model.mean_session == mean
+    assert model.median_session == median
+    assert model.avg_active == avg_active
+    # heavy-tailed sessions: the paper's traces all have mean > median
+    assert model.mean_session > model.median_session
+
+
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_every_trace_preset_builds_tiny(name):
+    runner, trace = build_full_run(name, seed=3, scale=0.005, duration=900.0)
+    assert trace.duration == 900.0
+    assert len(trace.initial_nodes()) >= 2
+    assert runner is not None
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_every_topology_preset_builds(topology):
+    _runner, trace = build_full_run(
+        "overnet", topology_name=topology, seed=3, scale=0.005, duration=600.0
+    )
+    assert len(trace.initial_nodes()) >= 2
 
 
 def test_unknown_names_rejected():

@@ -1,0 +1,109 @@
+"""Tests for ``repro profile`` (repro.profiler)."""
+
+import json
+
+import pytest
+
+from repro.profiler import (
+    ProfileError,
+    default_out_path,
+    render_profile,
+    resolve_target,
+    run_profile,
+    verify_profile_schema,
+    write_profile,
+)
+
+
+def test_resolve_experiment_and_bench():
+    kind, module = resolve_target("fig6")
+    assert kind == "experiment" and hasattr(module, "run")
+    kind, scenario = resolve_target("engine_events")
+    assert kind == "bench" and scenario.name == "engine_events"
+
+
+def test_resolve_kind_restriction():
+    with pytest.raises(ProfileError):
+        resolve_target("fig6", kind="bench")
+    with pytest.raises(ProfileError):
+        resolve_target("engine_events", kind="experiment")
+    with pytest.raises(ProfileError):
+        resolve_target("no_such_target")
+    with pytest.raises(ProfileError):
+        resolve_target("fig6", kind="bogus")
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ProfileError):
+        run_profile("engine_events", mode="fast")
+
+
+def test_profile_bench_scenario(tmp_path):
+    report = run_profile("engine_events", mode="smoke", top_n=10)
+    verify_profile_schema(report)
+    assert report["kind"] == "bench"
+    assert report["mode"] == "smoke"
+    assert report["wall_s"] > 0
+    assert report["tracemalloc_peak_kb"] > 0
+    assert len(report["hotspots"]) <= 10
+    # The instrumented run must produce the scenario's normal outcome.
+    from repro.bench import _scenario_engine_events
+
+    work, fingerprint = _scenario_engine_events(quick=True)
+    assert report["outcome"] == {"work": work, "fingerprint": fingerprint}
+
+    path = write_profile(report, str(tmp_path / "p.json"))
+    on_disk = json.loads(path.read_text())
+    verify_profile_schema(on_disk)
+
+    text = render_profile(report)
+    assert "engine_events" in text
+    assert "fingerprint:" in text
+
+
+def test_profile_experiment(tmp_path):
+    report = run_profile("fig6", mode="smoke", scale=0.01, duration=30.0,
+                         seed=5, top_n=8)
+    verify_profile_schema(report)
+    assert report["kind"] == "experiment"
+    assert report["outcome"]["result_type"]
+    assert len(report["hotspots"]) <= 8
+    text = render_profile(report)
+    assert "experiment fig6" in text
+
+
+def test_default_out_path_is_versioned_results_dir():
+    report = {"kind": "bench", "target": "engine_events", "mode": "smoke"}
+    path = default_out_path(report)
+    assert str(path).startswith("benchmarks/results/")
+    assert path.name == "profile_bench_engine_events_smoke.json"
+
+
+def test_verify_profile_schema_rejects_malformed():
+    good = run_profile("engine_events", mode="smoke", top_n=3)
+    bad = dict(good)
+    bad["schema"] = "nope/0"
+    with pytest.raises(ProfileError):
+        verify_profile_schema(bad)
+    bad = dict(good)
+    del bad["hotspots"]
+    with pytest.raises(ProfileError):
+        verify_profile_schema(bad)
+    bad = dict(good)
+    bad["outcome"] = {}
+    with pytest.raises(ProfileError):
+        verify_profile_schema(bad)
+
+
+def test_cli_profile_verb(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "artifact.json"
+    status = main(["profile", "engine_events", "--mode", "smoke",
+                   "--top", "5", "--out", str(out)])
+    assert status == 0
+    verify_profile_schema(json.loads(out.read_text()))
+    captured = capsys.readouterr()
+    assert "repro profile — bench engine_events" in captured.out
+
+    assert main(["profile", "no_such_target"]) == 2

@@ -133,7 +133,8 @@ def test_every_entry_in_correct_slot(owner_id, others, b):
     for i in others:
         if i != owner_id:
             table.add(desc(i))
-    for (row, col), entry in table._slots.items():
+    for flat, entry in table._slots.items():
+        row, col = divmod(flat, table.cols)
         assert shared_prefix_length(entry.id, owner_id, b) == row
         assert digit(entry.id, row, b) == col
 
