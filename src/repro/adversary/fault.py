@@ -1,0 +1,91 @@
+"""``AdversaryFault``: schedule node compromise like any other fault.
+
+An :class:`AdversaryFault` entry in a :class:`~repro.faults.FaultSchedule`
+compromises a random ``fraction`` of the registered population for the
+event's window, assigning each chosen node a behavior drawn from ``mix``
+(name → weight over the :data:`~repro.adversary.behaviors.BEHAVIORS`
+presets).  All chosen nodes of one event are colluders: poisoners and
+eclipsers advertise the whole set, misrouters divert lookups into it.
+
+Node selection and behavior assignment draw from the schedule's fault RNG
+stream at *apply* time (per ``faults/schedule.py`` conventions), so attacks
+are deterministic for a given seed yet correct under churn, and compose
+with partitions, bursty loss and gray failures in the same schedule.
+Revocation (``revert``) follows the package's clear-all-per-kind semantics;
+``FaultSchedule.validate()`` rejects the overlap patterns for which that
+would silently end a second attack early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.adversary.behaviors import BEHAVIORS, ActiveAdversary
+from repro.faults.schedule import Fault, _Context
+
+
+def _normalize_mix(mix) -> Tuple[Tuple[str, float], ...]:
+    """Accept ``"name"``, ``{"name": w}``, or iterables of either shape."""
+    if isinstance(mix, str):
+        return ((mix, 1.0),)
+    if isinstance(mix, dict):
+        return tuple((name, float(weight)) for name, weight in mix.items())
+    normalized = []
+    for item in mix:
+        if isinstance(item, str):
+            normalized.append((item, 1.0))
+        else:
+            name, weight = item
+            normalized.append((name, float(weight)))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class AdversaryFault(Fault):
+    """Compromise a random ``fraction`` of the population for an interval."""
+
+    fraction: float = 0.1
+    mix: Tuple[Tuple[str, float], ...] = (("poison", 1.0),)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mix", _normalize_mix(self.mix))
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"attacker fraction out of [0, 1]: {self.fraction}")
+        if not self.mix:
+            raise ValueError("behavior mix must not be empty")
+        for name, weight in self.mix:
+            if name not in BEHAVIORS:
+                known = ", ".join(sorted(BEHAVIORS))
+                raise ValueError(f"unknown behavior {name!r}; known: {known}")
+            if weight <= 0.0:
+                raise ValueError(f"behavior weight must be positive: {name}={weight}")
+
+    def apply(self, ctx: _Context) -> None:
+        addrs = ctx.live_addresses()
+        count = round(self.fraction * len(addrs))
+        chosen = ctx.rng.sample(addrs, count) if count else []
+        nodes = []
+        for addr in chosen:
+            node = ctx.network.owner_of(addr)
+            if node is not None and not node.crashed:
+                nodes.append(node)
+        colluders = [node.descriptor for node in nodes]
+        names = [name for name, _ in self.mix]
+        weights = [weight for _, weight in self.mix]
+        counters = ctx.state.adversary_counters
+        for node in nodes:
+            if len(names) == 1:
+                behavior = names[0]
+            else:
+                behavior = ctx.rng.choices(names, weights)[0]
+            ctx.state.set_adversary(
+                node.addr,
+                ActiveAdversary(
+                    node, behavior, BEHAVIORS[behavior], colluders,
+                    ctx.rng, counters,
+                ),
+            )
+
+    def revert(self, ctx: _Context) -> None:
+        ctx.state.clear_adversaries()

@@ -1,0 +1,398 @@
+"""Invariant-guided attack-schedule fuzzer behind ``repro fuzz``.
+
+The fuzzer searches the space of :class:`AdversaryFault` schedules —
+attacker fraction, behavior mix, attack timing — over a small overlay with
+joins arriving *during* the attack window (so join-targeting behaviors have
+prey).  The oracle is the existing runtime machinery: the
+:class:`~repro.overlay.invariants.InvariantChecker` sweeps plus the
+``routing_consistency`` probe (fraction of settled lookups delivered to the
+true oracle owner).  A scenario *fails* when consistency drops below the
+threshold or any invariant sweep reports a violation.
+
+When a failing scenario is found it is shrunk greedily to a minimal
+reproducing schedule: drop behaviors from the mix, step the attacker
+fraction and duration down their grids, zero the start — re-running the
+trial under the *same* derived seed after each candidate move and keeping
+it only if it still fails.  Everything — generation, trials, shrinking —
+draws from seeds derived via :func:`~repro.sim.rng.derive_stream_seed`, so
+``repro fuzz --seed S`` twice produces byte-identical artifacts
+(schema ``repro-fuzz/1``, canonical JSON in the ``ResultStore`` style).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.adversary.behaviors import BEHAVIORS
+from repro.adversary.fault import AdversaryFault
+from repro.experiments.resultio import dumps_canonical
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.network.simple import UniformDelayTopology
+from repro.overlay.runner import OverlayRunner
+from repro.pastry.config import PastryConfig
+from repro.sim.rng import RngStreams, derive_stream_seed
+from repro.traces.events import ARRIVAL, ChurnTrace, TraceEvent
+
+SCHEMA = "repro-fuzz/1"
+
+#: Discrete search grids: coarse enough that shrinking converges in a few
+#: steps, and scenario JSON stays exact (no float noise in artifacts).
+FRACTIONS: Tuple[float, ...] = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3)
+STARTS: Tuple[float, ...] = (0.0, 30.0, 60.0, 120.0)
+DURATIONS: Tuple[float, ...] = (120.0, 180.0, 240.0, 300.0)
+
+
+class FuzzError(Exception):
+    """Invalid fuzzer parameters or a malformed artifact."""
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One point in the attack-schedule search space."""
+
+    fraction: float
+    mix: Tuple[str, ...]  # behavior names, equal weights
+    start: float
+    duration: float
+
+    def to_json(self) -> Dict:
+        return {
+            "fraction": self.fraction,
+            "mix": list(self.mix),
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "AttackScenario":
+        return cls(
+            fraction=float(doc["fraction"]),
+            mix=tuple(doc["mix"]),
+            start=float(doc["start"]),
+            duration=float(doc["duration"]),
+        )
+
+    def schedule(self) -> FaultSchedule:
+        fault = AdversaryFault(
+            fraction=self.fraction,
+            mix=tuple((name, 1.0) for name in self.mix),
+        )
+        return FaultSchedule(
+            [FaultEvent(fault, start=self.start, duration=self.duration)]
+        )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def complexity(self) -> Tuple:
+        """Shrink ordering: strictly decreases on every accepted move."""
+        return (len(self.mix), self.fraction, self.duration, self.start)
+
+
+def _fingerprint(doc: Dict) -> str:
+    return hashlib.sha256(dumps_canonical(doc).encode()).hexdigest()[:16]
+
+
+def generate_scenario(rng: random.Random) -> AttackScenario:
+    """Draw one scenario from the discrete search grids."""
+    n_behaviors = rng.randint(1, 3)
+    mix = tuple(rng.sample(sorted(BEHAVIORS), n_behaviors))
+    return AttackScenario(
+        fraction=rng.choice(FRACTIONS),
+        mix=mix,
+        start=rng.choice(STARTS),
+        duration=rng.choice(DURATIONS),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trial execution
+# ----------------------------------------------------------------------
+def _trial_trace(scenario: AttackScenario, n_nodes: int, n_joiners: int,
+                 recovery: float) -> ChurnTrace:
+    """Stable bootstrap population plus joins arriving under attack.
+
+    The mid-attack arrivals are what give eclipse/poisoning behaviors prey;
+    a purely stable trace would only ever exercise the lookup attacks.
+    """
+    events = [TraceEvent(0.0, i, ARRIVAL) for i in range(n_nodes)]
+    span = scenario.duration / n_joiners
+    for k in range(n_joiners):
+        at = scenario.start + (k + 0.5) * span
+        events.append(TraceEvent(at, n_nodes + k, ARRIVAL))
+    return ChurnTrace(
+        name="fuzz", events=events, duration=scenario.end + recovery
+    )
+
+
+def run_trial(
+    scenario: AttackScenario,
+    seed: int,
+    n_nodes: int = 24,
+    recovery: float = 240.0,
+    lookup_rate: float = 0.05,
+) -> Dict:
+    """Run one attack scenario; return JSON-clean oracle metrics."""
+    streams = RngStreams(seed)
+    runner = OverlayRunner(
+        PastryConfig(leaf_set_size=8),
+        UniformDelayTopology(0.05),
+        streams,
+        lookup_rate=lookup_rate,
+        warmup_settle=60.0,
+        fault_schedule=scenario.schedule(),
+        invariant_period=30.0,
+    )
+    n_joiners = max(4, n_nodes // 4)
+    result = runner.run(_trial_trace(scenario, n_nodes, n_joiners, recovery))
+    stats = result.stats
+    reconvergence = stats.reconvergence_time(scenario.end)
+    return {
+        "routing_consistency": round(stats.routing_consistency(), 6),
+        "incorrect_delivery_rate": round(stats.incorrect_delivery_rate(), 6),
+        "lookup_loss_rate": round(stats.loss_rate(), 6),
+        "lookups": stats.n_lookups,
+        "max_violations": stats.max_violations(),
+        "standing_violations": stats.standing_violations(),
+        "reconvergence": reconvergence,
+        "adversary": result.extras.get("adversary", {}),
+        "final_active": result.final_active,
+    }
+
+
+def is_failing(metrics: Dict, threshold: float) -> bool:
+    """The fuzzer's oracle: consistency broke or an invariant was violated."""
+    return (
+        metrics["routing_consistency"] < threshold
+        or metrics["max_violations"] > 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _step_down(grid: Tuple[float, ...], value: float) -> Optional[float]:
+    smaller = [v for v in grid if v < value]
+    return max(smaller) if smaller else None
+
+
+def _shrink_candidates(s: AttackScenario) -> List[AttackScenario]:
+    """Simpler neighbours of ``s``, in deterministic priority order."""
+    candidates = []
+    if len(s.mix) > 1:
+        for i in range(len(s.mix)):
+            mix = s.mix[:i] + s.mix[i + 1:]
+            candidates.append(AttackScenario(s.fraction, mix, s.start, s.duration))
+    fraction = _step_down(FRACTIONS, s.fraction)
+    if fraction is not None:
+        candidates.append(AttackScenario(fraction, s.mix, s.start, s.duration))
+    duration = _step_down(DURATIONS, s.duration)
+    if duration is not None:
+        candidates.append(AttackScenario(s.fraction, s.mix, s.start, duration))
+    if s.start != 0.0:
+        candidates.append(AttackScenario(s.fraction, s.mix, 0.0, s.duration))
+    return candidates
+
+
+def shrink(
+    scenario: AttackScenario,
+    seed: int,
+    threshold: float,
+    budget: int = 16,
+    **trial_kwargs,
+) -> Tuple[AttackScenario, Dict, int, int]:
+    """Greedy minimization: keep a simpler neighbour while it still fails.
+
+    Returns ``(minimal scenario, its metrics, accepted steps, trials run)``.
+    Terminates because every accepted move strictly reduces
+    :meth:`AttackScenario.complexity`.
+    """
+    current = scenario
+    metrics = run_trial(current, seed, **trial_kwargs)
+    steps = 0
+    trials = 1
+    improved = True
+    while improved and trials < budget:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            if trials >= budget:
+                break
+            candidate_metrics = run_trial(candidate, seed, **trial_kwargs)
+            trials += 1
+            if is_failing(candidate_metrics, threshold):
+                current, metrics = candidate, candidate_metrics
+                steps += 1
+                improved = True
+                break
+    return current, metrics, steps, trials
+
+
+# ----------------------------------------------------------------------
+# Search driver
+# ----------------------------------------------------------------------
+def run_fuzz(
+    seed: int = 42,
+    budget: int = 12,
+    threshold: float = 0.9,
+    n_nodes: int = 24,
+    recovery: float = 240.0,
+    lookup_rate: float = 0.05,
+    shrink_budget: int = 16,
+) -> Dict:
+    """Search ``budget`` generated schedules; shrink the first failure.
+
+    Returns the schema-versioned artifact dict (see :data:`SCHEMA`).
+    """
+    if budget < 1:
+        raise FuzzError(f"budget must be >= 1: {budget}")
+    if not 0.0 < threshold <= 1.0:
+        raise FuzzError(f"threshold out of (0, 1]: {threshold}")
+    if n_nodes < 8:
+        raise FuzzError(f"need at least 8 nodes for a meaningful overlay: {n_nodes}")
+    if recovery < 0.0:
+        raise FuzzError(f"recovery must be non-negative: {recovery}")
+    if shrink_budget < 1:
+        raise FuzzError(f"shrink_budget must be >= 1: {shrink_budget}")
+
+    trial_kwargs = dict(
+        n_nodes=n_nodes, recovery=recovery, lookup_rate=lookup_rate
+    )
+    generator = random.Random(derive_stream_seed(seed, "fuzz-generator"))
+    trials = []
+    finding = None
+    for index in range(budget):
+        scenario = generate_scenario(generator)
+        trial_seed = derive_stream_seed(seed, f"fuzz-trial-{index}")
+        metrics = run_trial(scenario, trial_seed, **trial_kwargs)
+        failing = is_failing(metrics, threshold)
+        record = {
+            "index": index,
+            "scenario": scenario.to_json(),
+            "seed": trial_seed,
+            "metrics": metrics,
+            "failing": failing,
+            "fingerprint": _fingerprint(
+                {"scenario": scenario.to_json(), "metrics": metrics}
+            ),
+        }
+        trials.append(record)
+        if failing:
+            finding = (scenario, trial_seed, record)
+            break
+
+    shrunk = None
+    if finding is not None:
+        scenario, trial_seed, record = finding
+        minimal, metrics, steps, shrink_trials = shrink(
+            scenario, trial_seed, threshold, budget=shrink_budget,
+            **trial_kwargs,
+        )
+        shrunk = {
+            "scenario": minimal.to_json(),
+            "seed": trial_seed,
+            "metrics": metrics,
+            "steps": steps,
+            "trials": shrink_trials,
+            "fingerprint": _fingerprint(
+                {"scenario": minimal.to_json(), "metrics": metrics}
+            ),
+        }
+
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "budget": budget,
+        "threshold": threshold,
+        "config": {
+            "n_nodes": n_nodes,
+            "recovery": recovery,
+            "lookup_rate": lookup_rate,
+            "shrink_budget": shrink_budget,
+        },
+        "trials": trials,
+        "finding": finding[2] if finding is not None else None,
+        "shrunk": shrunk,
+    }
+
+
+def verify_fuzz_schema(artifact: Dict) -> None:
+    """Gate used by tests and the CI fuzz-smoke job."""
+    if not isinstance(artifact, dict) or artifact.get("schema") != SCHEMA:
+        raise FuzzError(
+            f"not a {SCHEMA} artifact: schema={artifact.get('schema')!r}"
+            if isinstance(artifact, dict) else "artifact is not a JSON object"
+        )
+    for key in ("seed", "budget", "threshold", "config", "trials",
+                "finding", "shrunk"):
+        if key not in artifact:
+            raise FuzzError(f"artifact missing key {key!r}")
+    for record in artifact["trials"]:
+        for key in ("index", "scenario", "seed", "metrics", "failing",
+                    "fingerprint"):
+            if key not in record:
+                raise FuzzError(f"trial record missing key {key!r}")
+    if artifact["finding"] is not None and artifact["shrunk"] is None:
+        raise FuzzError("artifact has a finding but no shrunk schedule")
+
+
+def write_fuzz_artifact(artifact: Dict, out: str) -> str:
+    """Atomically write the artifact as canonical JSON; return the path."""
+    directory = os.path.dirname(os.path.abspath(out))
+    os.makedirs(directory, exist_ok=True)
+    text = dumps_canonical(artifact) + "\n"
+    tmp = f"{out}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+def _describe(scenario_doc: Dict) -> str:
+    mix = "+".join(scenario_doc["mix"])
+    return (f"{scenario_doc['fraction']:.0%} {mix} "
+            f"@[{scenario_doc['start']:g}s, "
+            f"{scenario_doc['start'] + scenario_doc['duration']:g}s)")
+
+
+def render_fuzz_report(artifact: Dict) -> str:
+    lines = [
+        f"repro fuzz — seed {artifact['seed']}, "
+        f"{len(artifact['trials'])}/{artifact['budget']} trials, "
+        f"consistency threshold {artifact['threshold']:g}"
+    ]
+    for record in artifact["trials"]:
+        metrics = record["metrics"]
+        verdict = "FAIL" if record["failing"] else "ok"
+        lines.append(
+            f"  [{record['index']:2d}] {verdict:4s} "
+            f"consistency={metrics['routing_consistency']:.3f} "
+            f"violations={metrics['max_violations']:d}  "
+            f"{_describe(record['scenario'])}"
+        )
+    shrunk = artifact["shrunk"]
+    if shrunk is None:
+        lines.append("no violating schedule found within budget")
+    else:
+        metrics = shrunk["metrics"]
+        lines.append(
+            f"minimal reproducing schedule after {shrunk['steps']} shrink "
+            f"step(s) ({shrunk['trials']} trials): {_describe(shrunk['scenario'])}"
+        )
+        lines.append(
+            f"  consistency={metrics['routing_consistency']:.3f} "
+            f"violations={metrics['max_violations']:d} "
+            f"fingerprint={shrunk['fingerprint']}"
+        )
+        lines.append(
+            f"  reproduce: run_trial(AttackScenario.from_json(...), "
+            f"seed={shrunk['seed']})"
+        )
+    return "\n".join(lines)

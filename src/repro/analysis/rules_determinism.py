@@ -19,7 +19,7 @@ from repro.analysis.core import FileContext, Finding, Rule, register
 #: inside (or builds the inputs of) a deterministic simulation run
 SIM_PACKAGES = (
     "repro/sim", "repro/pastry", "repro/overlay",
-    "repro/network", "repro/faults", "repro/traces",
+    "repro/network", "repro/faults", "repro/traces", "repro/adversary",
 )
 
 #: functions of the `random` module that draw from the shared global RNG

@@ -31,6 +31,9 @@ HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
     ),
     "repro/metrics/collector.py": frozenset({"on_send", "on_loss"}),
     "repro/pastry/messages.py": frozenset({"wire_size"}),
+    "repro/adversary/behaviors.py": frozenset(
+        {"intercept", "_intercept_lookup", "_intercept_join"}
+    ),
 }
 
 
@@ -100,6 +103,9 @@ HOT_CLASSES: Dict[str, FrozenSet[str]] = {
     "repro/pastry/pns.py": frozenset({"_Measurement", "ProximityManager"}),
     "repro/faults/state.py": frozenset({"GrayFailure", "FaultState"}),
     "repro/metrics/collector.py": frozenset({"ActiveIntegrator", "LookupRecord"}),
+    "repro/adversary/behaviors.py": frozenset(
+        {"AdversaryParams", "ActiveAdversary"}
+    ),
 }
 
 

@@ -22,11 +22,13 @@ ablation             §5.3 "Active probing and per-hop acks" ablation
 selftuning           §5.3 self-tuning: target Lr vs achieved loss/cost
 fig8_squirrel        Fig 8: Squirrel deployment traffic validation
 faults               beyond the paper: partitions, bursty loss, gray nodes
+attacks              beyond the paper: Byzantine attack coverage table
 ===================  =====================================================
 """
 
 from repro.experiments import (  # noqa: F401
     ablation,
+    attacks,
     design_ablations,
     faults,
     fig3_failure_rates,
@@ -51,4 +53,5 @@ ALL_EXPERIMENTS = {
     "fig8": fig8_squirrel,
     "design": design_ablations,
     "faults": faults,
+    "attacks": attacks,
 }

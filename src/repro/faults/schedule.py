@@ -5,8 +5,11 @@ entries.  ``install()`` attaches a :class:`FaultState` to the network (if
 none is attached yet) and schedules each fault's ``apply``/``revert`` at its
 start/stop instants.  Fault objects are immutable and reusable across runs;
 the price is clear-all revert semantics per fault kind — two overlapping
-faults of the same kind end together when the first one reverts (schedules
-in this codebase never overlap same-kind faults).
+faults of the same kind end together when the first one reverts.
+:meth:`FaultSchedule.validate` (run at construction) therefore rejects
+same-kind events whose windows overlap with *different* end times; equal-end
+overlaps are allowed and well-defined (the gray-failure mix composes three
+profiles over one shared window this way).
 
 Which nodes a population-level fault hits is decided at *apply* time from
 the addresses registered at that instant, drawn from the schedule's own
@@ -146,9 +149,38 @@ class FaultSchedule:
         self.events: Tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: (e.start, e.end))
         )
+        self.validate()
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def validate(self) -> None:
+        """Reject same-kind events whose windows overlap with different ends.
+
+        Reverts are clear-all per fault kind, so when two same-kind windows
+        overlap the earlier revert silently ends both — a real footgun for
+        generated schedules.  Overlapping events that *end together* are
+        fine (both reverts fire at the shared instant; the first clears,
+        the second is a no-op) and are how composite faults are written.
+        """
+        latest: dict = {}  # fault kind -> (furthest end seen, its event)
+        for event in self.events:  # sorted by (start, end)
+            kind = type(event.fault)
+            seen = latest.get(kind)
+            if seen is not None:
+                end, prev = seen
+                if event.start < end and event.end != end:
+                    raise ValueError(
+                        f"overlapping {kind.__name__} faults with different "
+                        f"ends: [{prev.start:g}, {prev.end:g}) and "
+                        f"[{event.start:g}, {event.end:g}) — clear-all "
+                        f"revert semantics would silently end both at "
+                        f"t={min(end, event.end):g}"
+                    )
+                if event.end > end:
+                    latest[kind] = (event.end, event)
+            else:
+                latest[kind] = (event.end, event)
 
     def windows(self) -> List[Tuple[float, float]]:
         """``(start, end)`` of every event, in schedule-relative time."""

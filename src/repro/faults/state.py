@@ -63,7 +63,8 @@ class FaultState:
     does not perturb any other subsystem's draws.
     """
 
-    __slots__ = ("sim", "_rng", "_groups", "_gray", "_burst", "_links", "_jitter", "drops")
+    __slots__ = ("sim", "_rng", "_groups", "_gray", "_burst", "_links", "_jitter",
+                 "drops", "_adversaries", "adversary_counters")
 
     def __init__(self, sim: Simulator, rng: random.Random) -> None:
         self.sim = sim
@@ -75,6 +76,11 @@ class FaultState:
         self._jitter: Optional[JitterParams] = None
         #: messages dropped by each fault kind ("gray", "partition", "burst")
         self.drops: Dict[str, int] = defaultdict(int)
+        #: addr -> installed behavior overlay (repro.adversary.ActiveAdversary)
+        self._adversaries: Dict[int, object] = {}
+        #: attack-activity counters shared by all of a run's overlays
+        #: (lookups_dropped, lookups_misrouted, acks_spoofed, ...)
+        self.adversary_counters: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     # Mutation (driven by FaultSchedule)
@@ -121,6 +127,28 @@ class FaultState:
     def gray_of(self, addr: int) -> Optional[GrayFailure]:
         return self._gray.get(addr)
 
+    def set_adversary(self, addr: int, overlay) -> None:
+        """Install a Byzantine behavior overlay on the node at ``addr``.
+
+        The overlay (an ``ActiveAdversary``) hooks itself into the node's
+        message handling on ``install()``; a previous overlay on the same
+        address is uninstalled first.
+        """
+        old = self._adversaries.pop(addr, None)
+        if old is not None:
+            old.uninstall()
+        self._adversaries[addr] = overlay
+        overlay.install()
+
+    def clear_adversaries(self) -> None:
+        """Revoke all compromised nodes (clear-all revert semantics)."""
+        for overlay in self._adversaries.values():
+            overlay.uninstall()
+        self._adversaries = {}
+
+    def adversary_of(self, addr: int):
+        return self._adversaries.get(addr)
+
     @property
     def active_faults(self) -> Dict[str, int]:
         """How many faults of each kind are currently installed."""
@@ -129,6 +157,7 @@ class FaultState:
             "gray_nodes": len(self._gray),
             "burst_links": 1 if self._burst is not None else 0,
             "jitter": 1 if self._jitter is not None else 0,
+            "adversary_nodes": len(self._adversaries),
         }
 
     # ------------------------------------------------------------------

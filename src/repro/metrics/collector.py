@@ -182,6 +182,21 @@ class StatsCollector:
         incorrect = sum(1 for r in settled if r.correct is False)
         return incorrect / len(settled)
 
+    def routing_consistency(self, grace: float = 60.0) -> float:
+        """Fraction of settled lookups delivered to the true oracle owner.
+
+        The adversarial-dependability probe: unlike ``loss_rate`` (which
+        counts non-delivery) and ``incorrect_delivery_rate`` (which counts
+        misdelivery), this counts *success* — a dropped, blackholed or
+        misdelivered lookup all score zero, so an attack cannot trade one
+        failure mode for another to look good.  1.0 when nothing settled.
+        """
+        settled = self._settled_lookups(grace)
+        if not settled:
+            return 1.0
+        correct = sum(1 for r in settled if r.correct is True)
+        return correct / len(settled)
+
     def mean_rdp(self) -> float:
         samples = [s for bucket in self.rdp_samples.values() for s in bucket]
         return sum(samples) / len(samples) if samples else 0.0

@@ -67,6 +67,7 @@ class Network:
         self.topology = topology
         self._rng = rng
         self._handlers: Dict[int, Handler] = {}
+        self._owners: Dict[int, Any] = {}
         self._faults = None
         self._stats: Optional[Any] = None
         self._on_loss: Optional[Callable[..., None]] = None
@@ -133,13 +134,25 @@ class Network:
         """Create a new attachment point (a network address)."""
         return self.topology.attach(self._rng)
 
-    def register(self, address: int, handler: Handler) -> None:
-        """Bind a live node's message handler to its address."""
+    def register(self, address: int, handler: Handler, owner: Any = None) -> None:
+        """Bind a live node's message handler to its address.
+
+        ``owner`` optionally records the node object behind the handler so
+        address-level subsystems (fault injection picking compromise
+        targets) can reach the node without reflecting on the callable.
+        """
         self._handlers[address] = handler
+        if owner is not None:
+            self._owners[address] = owner
 
     def deregister(self, address: int) -> None:
         """Crash/leave: future deliveries to this address are dropped."""
         self._handlers.pop(address, None)
+        self._owners.pop(address, None)
+
+    def owner_of(self, address: int) -> Optional[Any]:
+        """The node object registered at ``address`` (None if anonymous)."""
+        return self._owners.get(address)
 
     def is_registered(self, address: int) -> bool:
         return address in self._handlers

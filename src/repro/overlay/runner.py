@@ -76,6 +76,10 @@ class RunResult:
     def incorrect_delivery_rate(self) -> float:
         return self.stats.incorrect_delivery_rate()
 
+    @property
+    def routing_consistency(self) -> float:
+        return self.stats.routing_consistency()
+
 
 class OverlayRunner:
     def __init__(
@@ -266,6 +270,8 @@ class OverlayRunner:
             extras["fault_windows"] = self.fault_schedule.windows()
         if self.network.faults is not None:
             extras["fault_drops"] = dict(self.network.faults.drops)
+            if self.network.faults.adversary_counters:
+                extras["adversary"] = dict(self.network.faults.adversary_counters)
         return RunResult(
             stats=self.collector,
             trace_name=trace.name,

@@ -98,6 +98,11 @@ class MSPastryNode:
         self.routing_table = RoutingTable(self.descriptor, config.b)
         self.active = False
         self.crashed = False
+        #: Byzantine behavior overlay (repro.adversary.ActiveAdversary) or
+        #: None.  Consulted with a single is-None test per message — the
+        #: disabled cost on the hot path (mirrors the transport's no-faults
+        #: fast path): no RNG draws, no extra events, byte-identical runs.
+        self.adversary = None
         self.joined_at: Optional[float] = None
         self.activated_at: Optional[float] = None
 
@@ -173,7 +178,7 @@ class MSPastryNode:
         self._deferred: Dict[int, List[m.Lookup]] = {}
         self._deferred_ids: Set[int] = set()
 
-        network.register(self.addr, self._on_message)
+        network.register(self.addr, self._on_message, owner=self)
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -1239,6 +1244,12 @@ class MSPastryNode:
             ):
                 self.probe(sender)
         if handler is not None:
+            # Byzantine overlay: the sender bookkeeping above still ran (a
+            # compromised node keeps its own protocol state honest), but the
+            # overlay may consume the message instead of the real handler.
+            adversary = self.adversary
+            if adversary is not None and adversary.intercept(src_addr, msg):
+                return
             handler(self, src_addr, sender, msg)
 
     # ------------------------------------------------------------------
@@ -1278,6 +1289,8 @@ class MSPastryNode:
         self.crashed = True
         self.active = False
         self.network.deregister(self.addr)
+        if self.adversary is not None:
+            self.adversary.uninstall()
         for task in self._tasks:
             task.stop()
         self._tasks.clear()

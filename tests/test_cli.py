@@ -17,7 +17,8 @@ def cli_args(seed=None, scale=None, duration=None):
 def test_list_prints_all_experiments(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for name in ("fig3", "fig6", "topologies", "ablation", "fig8", "design"):
+    for name in ("fig3", "fig6", "topologies", "ablation", "fig8", "design",
+                 "faults", "attacks"):
         assert name in out
 
 

@@ -12,6 +12,7 @@ import pytest
 
 from repro.experiments import (
     ablation,
+    attacks,
     faults,
     fig3_failure_rates,
     fig5_sessions,
@@ -115,6 +116,23 @@ def test_faults_structure():
     assert "partition/heal" in report
     assert "bursty vs uniform" in report
     assert "gray-failure mix" in report
+
+
+def test_attacks_structure():
+    result = attacks.run(seed=11, trace_scale=0.012, duration=1200.0,
+                         start=300.0, length=300.0,
+                         attacks=("spoof",), fractions=(0.25,))
+    assert set(result["rows"]) == {"baseline", "spoof-0.25"}
+    baseline = result["rows"]["baseline"]
+    attacked = result["rows"]["spoof-0.25"]
+    assert baseline["adversary"] == {}
+    assert attacked["adversary"].get("lookups_dropped", 0) > 0
+    for row in result["rows"].values():
+        assert 0.0 <= row["consistency"] <= 1.0
+    assert_round_trips(result)
+    report = attacks.format_report(result)
+    assert "attack coverage" in report
+    assert "spoof" in report
 
 
 def test_ablation_structure():

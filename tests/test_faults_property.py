@@ -9,7 +9,7 @@ closed, mutuality holds, and no dead state lingers.
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.faults import (
     BurstLoss,
@@ -78,7 +78,12 @@ def test_any_fault_schedule_reconverges_after_quiet_period(events, seed):
         oracle.node_alive(node)
         oracle.node_activated(node)
 
-    schedule = FaultSchedule(events)
+    try:
+        schedule = FaultSchedule(events)
+    except ValueError:
+        # validate() rejects same-kind overlaps with different ends; the
+        # generator does not avoid them, so just skip those draws.
+        assume(False)
     schedule.install(sim, net, random.Random(seed ^ 0xFA17), offset=sim.now)
     sim.run(until=sim.now + FAULT_WINDOW)
 
