@@ -211,11 +211,71 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     return REGISTRY.register(rule_cls)
 
 
-def check_file(ctx: FileContext,
-               rules: Sequence[Rule]) -> List[Finding]:
+@dataclass(frozen=True)
+class PackageExemption:
+    """One package's documented opt-out from specific rule codes.
+
+    Per-rule ``exempt`` tuples carve individual files out of one rule;
+    a *package* exemption is the inverse shape — one package, several
+    rules — for code that deliberately lives outside a contract (e.g.
+    ``repro.runtime`` runs on real sockets and wall clocks by design).
+    The reason is mandatory and rendered in ``repro lint --explain`` so
+    every hole in the policy is self-documenting.
+    """
+
+    package: str
+    codes: Tuple[str, ...]
+    reason: str
+
+
+class ExemptionRegistry:
+    """Package exemptions, keyed by rule code for the check loop."""
+
+    def __init__(self) -> None:
+        self._by_code: Dict[str, List[PackageExemption]] = {}
+        self._all: List[PackageExemption] = []
+
+    def add(self, package: str, codes: Sequence[str],
+            reason: str) -> PackageExemption:
+        if not package:
+            raise AnalysisError("package exemption requires a package path")
+        if not codes:
+            raise AnalysisError(
+                f"package exemption for {package!r} lists no rule codes")
+        if not reason or not reason.strip():
+            raise AnalysisError(
+                f"package exemption for {package!r} requires a reason")
+        exemption = PackageExemption(package, tuple(codes), reason)
+        self._all.append(exemption)
+        for code in exemption.codes:
+            self._by_code.setdefault(code, []).append(exemption)
+        return exemption
+
+    def exempts(self, code: str, ctx: FileContext) -> bool:
+        return any(ctx.in_package(e.package)
+                   for e in self._by_code.get(code, ()))
+
+    def all(self) -> List[PackageExemption]:
+        return list(self._all)
+
+
+#: the default exemption registry; rule modules declare into it on import
+EXEMPTIONS = ExemptionRegistry()
+
+
+def exempt_package(package: str, codes: Sequence[str],
+                   reason: str) -> PackageExemption:
+    return EXEMPTIONS.add(package, codes, reason)
+
+
+def check_file(ctx: FileContext, rules: Sequence[Rule],
+               exemptions: Optional[ExemptionRegistry] = None) -> List[Finding]:
     """Run ``rules`` over one parsed file, sorted by location then code."""
+    active = exemptions if exemptions is not None else EXEMPTIONS
     findings: List[Finding] = []
     for rule in rules:
+        if active.exempts(rule.code, ctx):
+            continue
         if rule.applies_to(ctx):
             findings.extend(rule.check(ctx))
     findings.sort(key=lambda f: (f.line, f.col, f.code))

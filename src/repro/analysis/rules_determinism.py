@@ -13,13 +13,35 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, Optional, Set
 
-from repro.analysis.core import FileContext, Finding, Rule, register
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    exempt_package,
+    register,
+)
 
 #: path fragments that make up "simulation code" — everything that executes
-#: inside (or builds the inputs of) a deterministic simulation run
+#: inside (or builds the inputs of) a deterministic simulation run.
+#: ``repro/runtime`` is listed so the rules *claim* it — its opt-out is an
+#: explicit, reasoned PackageExemption below, not a silent gap in coverage.
 SIM_PACKAGES = (
     "repro/sim", "repro/pastry", "repro/overlay",
     "repro/network", "repro/faults", "repro/traces", "repro/adversary",
+    "repro/runtime",
+)
+
+exempt_package(
+    "repro/runtime",
+    codes=("DET002", "DET005", "DET006"),
+    reason=(
+        "repro.runtime is the deployment half of the Transport/Clock seam "
+        "(DESIGN.md §13): it exists to run the protocol code on real "
+        "sockets, real timers and the wall clock, so the no-wall-clock, "
+        "no-ambient-state and no-real-io-imports contracts cannot apply. "
+        "DET001 still does — even live nodes draw randomness from seeded "
+        "streams so deployments are plan-replayable."
+    ),
 )
 
 #: functions of the `random` module that draw from the shared global RNG
@@ -114,6 +136,51 @@ class NoWallClock(Rule):
                     ctx, node,
                     f"{target}() is wall-clock; simulation code must use "
                     f"the engine's simulated time (Simulator.now)")
+
+
+#: modules whose import means the file touches real event/IO machinery
+_REAL_IO_MODULES = {
+    "asyncio", "socket", "selectors", "threading", "subprocess",
+    "socketserver", "multiprocessing",
+}
+
+
+@register
+class NoRealIOImports(Rule):
+    """DET006: simulation code must not import real event/IO machinery."""
+
+    code = "DET006"
+    name = "no-real-io-imports"
+    severity = "error"
+    description = (
+        "Importing asyncio/socket/threading/subprocess into simulation "
+        "code is how nondeterminism sneaks in structurally — once the "
+        "module is in scope, a wall-clock timer or real socket is one "
+        "call away.  The simulated world talks to the outside only "
+        "through the Transport/Clock seam (repro.interfaces)."
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _REAL_IO_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name} in simulation code; "
+                            f"real IO belongs behind the repro.interfaces "
+                            f"seam (repro.runtime)")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                root = node.module.split(".")[0]
+                if root in _REAL_IO_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"import from {node.module} in simulation code; "
+                        f"real IO belongs behind the repro.interfaces "
+                        f"seam (repro.runtime)")
 
 
 class _SetTracker(ast.NodeVisitor):

@@ -154,8 +154,9 @@ def _run_external(name: str, args: List[str]) -> ToolOutcome:
     return ToolOutcome(name, "failed", tail)
 
 
-def run_all_tools(mypy_targets: Sequence[str] = ("src/repro/harness",
-                                                 "src/repro/sim")) -> List[ToolOutcome]:
+def run_all_tools(mypy_targets: Sequence[str] = (
+        "src/repro/harness", "src/repro/sim", "src/repro/interfaces.py",
+        "src/repro/network/transport.py", "src/repro/runtime")) -> List[ToolOutcome]:
     """ruff + mypy, for `repro lint --all` (detlint itself runs in-process)."""
     outcomes = [_run_external("ruff", ["check", "."])]
     outcomes.append(_run_external("mypy", list(mypy_targets)))

@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli sweep examples/sweeps/fig6_seeds.json --jobs 4 --out out/fig6
     python -m repro.cli report out/fig6
     python -m repro.cli fuzz --seed 6 --budget 12 --out out/fuzz.json
+    python -m repro.cli serve --port 9000 --metrics-port 9001
+    python -m repro.cli serve --seed 127.0.0.1:9000
+    python -m repro.cli live --nodes 5 --lookups 50 --out out/live.json
 
 ``--scale`` and ``--duration`` map onto each experiment's scale parameters
 where applicable (trace population scale and simulated seconds).
@@ -208,6 +211,23 @@ def cmd_lint(args) -> int:
         run_all_tools,
     )
 
+    if args.explain:
+        from repro.analysis.core import EXEMPTIONS, REGISTRY
+        for rule in REGISTRY.rules():
+            scope = ", ".join(rule.packages) if rule.packages else "all files"
+            print(f"{rule.code} ({rule.name}) [{scope}]")
+            print(f"    {rule.description}")
+            if rule.exempt:
+                print(f"    exempt: {', '.join(rule.exempt)} — "
+                      f"{rule.exempt_reason}")
+        exemptions = EXEMPTIONS.all()
+        if exemptions:
+            print("\npackage exemptions:")
+            for ex in exemptions:
+                print(f"  {ex.package}: {', '.join(ex.codes)}")
+                print(f"    {ex.reason}")
+        return 0
+
     status = 0
     if args.all:
         for outcome in run_all_tools():
@@ -240,6 +260,80 @@ def cmd_lint(args) -> int:
     print(render(report.result.new, report.result.baselined,
                  report.result.stale, report.notes))
     return 1 if report.failed else status
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import random
+    import signal
+
+    from repro.pastry.nodeid import random_nodeid
+    from repro.runtime.service import NodeService
+    from repro.runtime.transport import pack_addr
+
+    if args.id is not None:
+        node_id = int(args.id, 16)
+    else:
+        node_id = random_nodeid(random.Random(args.rng_seed))
+    seed_addr = None
+    if args.seed is not None:
+        host, _, port = args.seed.rpartition(":")
+        if not host or not port.isdigit():
+            return _fail(f"--seed wants HOST:PORT, got {args.seed!r}")
+        seed_addr = pack_addr(host, int(port))
+
+    async def serve() -> None:
+        loop = asyncio.get_event_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        service = await NodeService.start(
+            node_id=node_id, rng_seed=args.rng_seed, host=args.host,
+            port=args.port, seed_addr=seed_addr,
+            metrics_port=args.metrics_port, loop=loop)
+        print(f"node {node_id:032x}", file=sys.stderr)
+        print(f"listening on {service.endpoint}", file=sys.stderr)
+        if service.metrics is not None:
+            print(f"metrics on http://{args.host}:{service.metrics.port}/",
+                  file=sys.stderr)
+        try:
+            await stop.wait()
+        finally:
+            print("shutting down", file=sys.stderr)
+            await service.stop()
+
+    asyncio.run(serve())
+    return 0
+
+
+def cmd_live(args) -> int:
+    from repro.runtime.live import (
+        LiveError,
+        LiveSpec,
+        format_live_report,
+        run_live,
+        write_live_artifact,
+    )
+
+    spec = LiveSpec(n_nodes=args.nodes, n_lookups=args.lookups,
+                    seed=args.seed, host=args.host,
+                    join_timeout=args.timeout, lookup_timeout=args.timeout)
+    try:
+        artifact = run_live(spec)
+    except LiveError as exc:
+        return _fail(str(exc))
+    print(format_live_report(artifact))
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        write_live_artifact(artifact, args.out)
+        print(f"written: {args.out}", file=sys.stderr)
+    consistency = artifact["lookups"]["routing_consistency"]
+    if args.min_consistency is not None:
+        if consistency is None or consistency < args.min_consistency:
+            return _fail(
+                f"routing consistency {consistency} below required "
+                f"{args.min_consistency}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -355,8 +449,41 @@ def main(argv=None) -> int:
                       help="accept all current findings as pre-existing debt")
     lint.add_argument("--select", action="append", metavar="CODE",
                       help="only run the given rule code(s) (repeatable)")
+    lint.add_argument("--explain", action="store_true",
+                      help="describe every rule and package exemption, "
+                           "then exit")
     lint.add_argument("--all", action="store_true",
                       help="also run ruff and mypy (skipped if not installed)")
+
+    serve = sub.add_parser(
+        "serve", help="run one live MSPastry node on a real UDP socket")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="UDP port (default: OS-assigned)")
+    serve.add_argument("--seed", metavar="HOST:PORT", default=None,
+                       help="endpoint of any live node to join via "
+                            "(omit to bootstrap a new overlay)")
+    serve.add_argument("--id", default=None,
+                       help="128-bit nodeId as hex (default: derived "
+                            "from --rng-seed)")
+    serve.add_argument("--rng-seed", type=int, default=0,
+                       help="seed for the node's random stream")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve JSON node metrics over HTTP on this port")
+
+    live = sub.add_parser(
+        "live", help="run an N-node live UDP overlay plus lookup workload")
+    live.add_argument("--nodes", type=int, default=5)
+    live.add_argument("--lookups", type=int, default=50)
+    live.add_argument("--seed", type=int, default=42)
+    live.add_argument("--host", default="127.0.0.1")
+    live.add_argument("--timeout", type=float, default=30.0,
+                      help="join/workload timeout in seconds")
+    live.add_argument("--out", default=None,
+                      help="write the repro-live/1 artifact here")
+    live.add_argument("--min-consistency", type=float, default=None,
+                      help="exit non-zero below this routing consistency "
+                           "(CI gate)")
 
     args = parser.parse_args(argv)
 
@@ -377,6 +504,10 @@ def main(argv=None) -> int:
         return cmd_fuzz(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "live":
+        return cmd_live(args)
 
     if args.experiment == "all":
         status = 0

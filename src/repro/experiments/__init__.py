@@ -23,6 +23,7 @@ selftuning           §5.3 self-tuning: target Lr vs achieved loss/cost
 fig8_squirrel        Fig 8: Squirrel deployment traffic validation
 faults               beyond the paper: partitions, bursty loss, gray nodes
 attacks              beyond the paper: Byzantine attack coverage table
+live_compare         beyond the paper: sim vs live-UDP run of one plan
 ===================  =====================================================
 """
 
@@ -37,6 +38,7 @@ from repro.experiments import (  # noqa: F401
     fig6_loss,
     fig7_params,
     fig8_squirrel,
+    live_compare,
     selftuning,
     topologies,
 )
@@ -54,4 +56,5 @@ ALL_EXPERIMENTS = {
     "design": design_ablations,
     "faults": faults,
     "attacks": attacks,
+    "live_compare": live_compare,
 }

@@ -46,10 +46,9 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.interfaces import Address, Handler
 from repro.network.base import Topology
 from repro.sim.engine import Simulator
-
-Handler = Callable[[int, Any], None]
 
 
 class Network:
@@ -66,8 +65,8 @@ class Network:
         self.sim = sim
         self.topology = topology
         self._rng = rng
-        self._handlers: Dict[int, Handler] = {}
-        self._owners: Dict[int, Any] = {}
+        self._handlers: Dict[Address, Handler] = {}
+        self._owners: Dict[Address, Any] = {}
         self._faults = None
         self._stats: Optional[Any] = None
         self._on_loss: Optional[Callable[..., None]] = None
@@ -130,11 +129,11 @@ class Network:
         self._update_fast_path()
 
     # ------------------------------------------------------------------
-    def attach(self) -> int:
+    def attach(self) -> Address:
         """Create a new attachment point (a network address)."""
         return self.topology.attach(self._rng)
 
-    def register(self, address: int, handler: Handler, owner: Any = None) -> None:
+    def register(self, address: Address, handler: Handler, owner: Any = None) -> None:
         """Bind a live node's message handler to its address.
 
         ``owner`` optionally records the node object behind the handler so
@@ -145,19 +144,19 @@ class Network:
         if owner is not None:
             self._owners[address] = owner
 
-    def deregister(self, address: int) -> None:
+    def deregister(self, address: Address) -> None:
         """Crash/leave: future deliveries to this address are dropped."""
         self._handlers.pop(address, None)
         self._owners.pop(address, None)
 
-    def owner_of(self, address: int) -> Optional[Any]:
+    def owner_of(self, address: Address) -> Optional[Any]:
         """The node object registered at ``address`` (None if anonymous)."""
         return self._owners.get(address)
 
-    def is_registered(self, address: int) -> bool:
+    def is_registered(self, address: Address) -> bool:
         return address in self._handlers
 
-    def addresses(self) -> List[int]:
+    def addresses(self) -> List[Address]:
         """All currently registered addresses (fault targeting, audits).
 
         Determinism contract: the order is *registration order* (dict

@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set
 
+from repro.interfaces import Clock, TimerHandle
 from repro.pastry.messages import Lookup
 from repro.pastry.nodeid import NodeDescriptor
-from repro.sim.engine import EventHandle, Simulator
 
 
 @dataclass(slots=True)
@@ -27,7 +27,7 @@ class PendingHop:
     sent_at: float
     attempts: int = 1  # number of distinct hops tried (reroutes)
     same_hop_tries: int = 0  # retransmissions to the current hop
-    timer: Optional[EventHandle] = None
+    timer: Optional[TimerHandle] = None
     retransmitted: bool = False  # Karn's rule: no RTT sample after a resend
     excluded: Set[int] = field(default_factory=set)
 
@@ -58,7 +58,7 @@ class HopAckManager:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         rto_table,
         max_reroutes: int,
         reroute: Callable[[Lookup, Set[int]], None],

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from itertools import chain
 from typing import Callable, ClassVar, Dict, List, Optional, Set
 
-from repro.network.transport import Network
+from repro.interfaces import Clock, TimerHandle, Transport
 from repro.pastry import messages as m
 from repro.pastry.acks import HopAckManager
 from repro.pastry.config import PastryConfig
@@ -47,7 +47,6 @@ from repro.pastry.pns import ProximityManager
 from repro.pastry.routingtable import RoutingTable
 from repro.pastry.rto import RtoTable
 from repro.pastry.selftuning import SelfTuner
-from repro.sim.engine import EventHandle, Simulator
 from repro.sim.periodic import PeriodicTask
 
 JOIN_RETRY_INTERVAL = 15.0
@@ -61,7 +60,7 @@ MAX_FAILED_REMEMBERED = 128
 class _ProbeState:
     desc: NodeDescriptor
     retries: int
-    timer: Optional[EventHandle]
+    timer: Optional[TimerHandle]
 
 
 class MSPastryNode:
@@ -71,8 +70,8 @@ class MSPastryNode:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         config: PastryConfig,
         node_id: int,
         rng: random.Random,
@@ -160,19 +159,19 @@ class MSPastryNode:
         self._buffered: List[m.Message] = []
         self._lookup_seq = 0
         self._tasks: List[PeriodicTask] = []
-        self._timers: List[EventHandle] = []
+        self._timers: List[TimerHandle] = []
         self._discovery: Optional[SeedDiscovery] = None
         self._join_seed: Optional[NodeDescriptor] = None
         self._seed_provider: Optional[Callable[[], Optional[NodeDescriptor]]] = None
         self._join_attempts = 0
-        self._join_timer: Optional[EventHandle] = None
+        self._join_timer: Optional[TimerHandle] = None
         self._monitored_id: Optional[int] = None
         self._monitor_since = 0.0
         tuned = (
             config.rt_probe_period_max if config.self_tuning else config.rt_probe_period
         )
         self._rt_period = min(tuned, config.state_sweep_period)
-        self._rt_scan_handle: Optional[EventHandle] = None
+        self._rt_scan_handle: Optional[TimerHandle] = None
         self._last_rt_scan = 0.0
         self._refill_version = -1
         self._deferred: Dict[int, List[m.Lookup]] = {}

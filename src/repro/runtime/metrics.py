@@ -1,0 +1,63 @@
+"""Per-process JSON metrics endpoint for a live node.
+
+A deliberately tiny HTTP/1.0 server (asyncio streams, no framework): any
+``GET`` returns the node's current snapshot as JSON.  This is the live
+network view — ``curl localhost:<port>`` while a node is serving shows
+peers, leaf set, routing-table fill and lookup latency/consistency
+counters.  One server per :class:`repro.runtime.service.NodeService`,
+bound to localhost by default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, Optional
+
+
+class MetricsServer:
+    """Serve ``snapshot()`` as JSON over HTTP on every GET."""
+
+    def __init__(self, snapshot: Callable[[], Dict[str, Any]]) -> None:
+        self._snapshot = snapshot
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self.requests_served = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and listen; returns the actual port (port 0 = OS pick)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            # Consume the request head (request line + headers); the
+            # response is the same snapshot regardless of path.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = json.dumps(self._snapshot(), sort_keys=True).encode()
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n" + body)
+            await writer.drain()
+            self.requests_served += 1
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client reset races
+                pass

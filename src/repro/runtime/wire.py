@@ -1,0 +1,372 @@
+"""Deterministic wire codec for every ``repro.pastry.messages`` type.
+
+Layout — all integers big-endian, no padding, no host-dependent types::
+
+    frame    := u32 body-length | body                (encode_frame)
+    body     := version:u8 | type-id:u8 | flags:u8
+                | [sender-descriptor]                 (flags bit 0)
+                | [tuning-hint:f64]                   (flags bit 1)
+                | per-type fields in declared order
+    desc     := id:u128 | addr:u64
+    opt-desc := present:u8 | [desc]
+    list     := count:u16 | desc*
+    rows     := count:u16 | (row:u16 | list)*
+    payload  := kind:u8 | [u32 length | bytes]        (None/bytes/str/int)
+
+Encoding is a pure function of the message value: the same message always
+produces the same bytes (dict rows are emitted in sorted row order), so
+``encode(decode(encode(msg))) == encode(msg)`` holds for every message —
+the property test in ``tests/test_runtime_wire.py`` enforces it across
+the whole registry, which must list every concrete message type
+(``test_registry_is_complete`` fails when a new type is added without a
+codec entry).
+
+Type ids are a stable wire contract, like detlint rule codes: never
+renumber them, only append.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pastry import messages as m
+from repro.pastry.nodeid import NodeDescriptor, intern_descriptor
+
+#: bump only for incompatible layout changes; decoders reject mismatches
+WIRE_VERSION = 1
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_MAX_U16 = 0xFFFF
+_MAX_U32 = 0xFFFFFFFF
+_MAX_U64 = 0xFFFFFFFFFFFFFFFF
+_MAX_U128 = (1 << 128) - 1
+
+#: flags byte bits (shared Message header fields)
+_FLAG_SENDER = 0x01
+_FLAG_HINT = 0x02
+
+#: payload kind tags
+_PAYLOAD_NONE = 0
+_PAYLOAD_BYTES = 1
+_PAYLOAD_STR = 2
+_PAYLOAD_INT = 3
+
+
+class WireError(ValueError):
+    """Raised for unencodable values and malformed/truncated buffers."""
+
+
+# ----------------------------------------------------------------------
+# Primitive writers
+# ----------------------------------------------------------------------
+def _w_uint(out: bytearray, value: int, packer: struct.Struct,
+            limit: int, what: str) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise WireError(f"{what}: expected int, got {type(value).__name__}")
+    if not 0 <= value <= limit:
+        raise WireError(f"{what} out of range [0, {limit}]: {value}")
+    out += packer.pack(value)
+
+
+def _w_u128(out: bytearray, value: int, what: str) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise WireError(f"{what}: expected int, got {type(value).__name__}")
+    if not 0 <= value <= _MAX_U128:
+        raise WireError(f"{what} out of range [0, 2^128): {value}")
+    out += value.to_bytes(16, "big")
+
+
+def _w_f64(out: bytearray, value: float, what: str) -> None:
+    try:
+        out += _F64.pack(value)
+    except (struct.error, TypeError) as exc:
+        raise WireError(f"{what}: not a float: {value!r}") from exc
+
+
+def _w_desc(out: bytearray, desc: Optional[NodeDescriptor], what: str) -> None:
+    if desc is None:
+        out += b"\x00"
+        return
+    out += b"\x01"
+    _w_u128(out, desc.id, f"{what}.id")
+    _w_uint(out, desc.addr, _U64, _MAX_U64, f"{what}.addr")
+
+
+def _w_desc_list(out: bytearray, descs: List[NodeDescriptor], what: str) -> None:
+    if len(descs) > _MAX_U16:
+        raise WireError(f"{what}: list too long for the wire: {len(descs)}")
+    out += _U16.pack(len(descs))
+    for i, desc in enumerate(descs):
+        if desc is None:
+            raise WireError(f"{what}[{i}]: None descriptor inside a list")
+        _w_desc(out, desc, f"{what}[{i}]")
+
+
+def _w_rows(out: bytearray, rows: Dict[int, List[NodeDescriptor]],
+            what: str) -> None:
+    if len(rows) > _MAX_U16:
+        raise WireError(f"{what}: too many rows: {len(rows)}")
+    out += _U16.pack(len(rows))
+    # Sorted row order: dict insertion order is a run artefact, not part of
+    # the message value, and encoding must be a pure function of the value.
+    for row in sorted(rows):
+        _w_uint(out, row, _U16, _MAX_U16, f"{what} row index")
+        _w_desc_list(out, rows[row], f"{what}[{row}]")
+
+
+def _w_payload(out: bytearray, payload: Any, what: str) -> None:
+    if payload is None:
+        out += _U8.pack(_PAYLOAD_NONE)
+    elif isinstance(payload, (bytes, bytearray)):
+        data = bytes(payload)
+        out += _U8.pack(_PAYLOAD_BYTES) + _U32.pack(len(data)) + data
+    elif isinstance(payload, str):
+        data = payload.encode("utf-8")
+        out += _U8.pack(_PAYLOAD_STR) + _U32.pack(len(data)) + data
+    elif isinstance(payload, int) and not isinstance(payload, bool):
+        try:
+            out += _U8.pack(_PAYLOAD_INT) + _I64.pack(payload)
+        except struct.error as exc:
+            raise WireError(f"{what}: int payload exceeds 64 bits") from exc
+    else:
+        raise WireError(
+            f"{what}: unencodable payload type {type(payload).__name__} "
+            f"(wire payloads are None/bytes/str/int)")
+
+
+# ----------------------------------------------------------------------
+# Primitive readers: (buffer, offset) -> (value, new offset)
+# ----------------------------------------------------------------------
+def _need(buf: bytes, off: int, n: int) -> None:
+    if off + n > len(buf):
+        raise WireError(f"truncated message: need {n} bytes at offset {off}, "
+                        f"have {len(buf) - off}")
+
+
+def _r_uint(buf: bytes, off: int, packer: struct.Struct) -> Tuple[int, int]:
+    _need(buf, off, packer.size)
+    return packer.unpack_from(buf, off)[0], off + packer.size
+
+
+def _r_u128(buf: bytes, off: int) -> Tuple[int, int]:
+    _need(buf, off, 16)
+    return int.from_bytes(buf[off:off + 16], "big"), off + 16
+
+
+def _r_f64(buf: bytes, off: int) -> Tuple[float, int]:
+    _need(buf, off, 8)
+    return _F64.unpack_from(buf, off)[0], off + 8
+
+
+def _r_desc(buf: bytes, off: int) -> Tuple[Optional[NodeDescriptor], int]:
+    present, off = _r_uint(buf, off, _U8)
+    if present == 0:
+        return None, off
+    if present != 1:
+        raise WireError(f"bad descriptor presence flag: {present}")
+    node_id, off = _r_u128(buf, off)
+    addr, off = _r_uint(buf, off, _U64)
+    return intern_descriptor(node_id, addr), off
+
+
+def _r_desc_list(buf: bytes, off: int) -> Tuple[List[NodeDescriptor], int]:
+    count, off = _r_uint(buf, off, _U16)
+    out: List[NodeDescriptor] = []
+    for _ in range(count):
+        desc, off = _r_desc(buf, off)
+        if desc is None:
+            raise WireError("None descriptor inside a list")
+        out.append(desc)
+    return out, off
+
+
+def _r_rows(buf: bytes, off: int) -> Tuple[Dict[int, List[NodeDescriptor]], int]:
+    count, off = _r_uint(buf, off, _U16)
+    rows: Dict[int, List[NodeDescriptor]] = {}
+    for _ in range(count):
+        row, off = _r_uint(buf, off, _U16)
+        entries, off = _r_desc_list(buf, off)
+        rows[row] = entries
+    return rows, off
+
+
+def _r_bool(buf: bytes, off: int) -> Tuple[bool, int]:
+    _need(buf, off, 1)
+    return buf[off] != 0, off + 1
+
+
+def _r_payload(buf: bytes, off: int) -> Tuple[Any, int]:
+    kind, off = _r_uint(buf, off, _U8)
+    if kind == _PAYLOAD_NONE:
+        return None, off
+    if kind == _PAYLOAD_INT:
+        _need(buf, off, 8)
+        return _I64.unpack_from(buf, off)[0], off + 8
+    if kind in (_PAYLOAD_BYTES, _PAYLOAD_STR):
+        length, off = _r_uint(buf, off, _U32)
+        _need(buf, off, length)
+        raw = bytes(buf[off:off + length])
+        off += length
+        if kind == _PAYLOAD_STR:
+            try:
+                return raw.decode("utf-8"), off
+            except UnicodeDecodeError as exc:
+                raise WireError(f"bad utf-8 in str payload: {exc}") from exc
+        return raw, off
+    raise WireError(f"unknown payload kind: {kind}")
+
+
+# ----------------------------------------------------------------------
+# Field codecs by kind name
+# ----------------------------------------------------------------------
+_WRITERS = {
+    "u16": lambda out, v, what: _w_uint(out, v, _U16, _MAX_U16, what),
+    "u32": lambda out, v, what: _w_uint(out, v, _U32, _MAX_U32, what),
+    "u128": _w_u128,
+    "f64": _w_f64,
+    "bool": lambda out, v, what: out.extend(b"\x01" if v else b"\x00"),
+    "desc": _w_desc,
+    "desc_list": _w_desc_list,
+    "rows": _w_rows,
+    "payload": _w_payload,
+}
+
+_READERS = {
+    "u16": lambda buf, off: _r_uint(buf, off, _U16),
+    "u32": lambda buf, off: _r_uint(buf, off, _U32),
+    "u128": _r_u128,
+    "f64": _r_f64,
+    "bool": _r_bool,
+    "desc": _r_desc,
+    "desc_list": _r_desc_list,
+    "rows": _r_rows,
+    "payload": _r_payload,
+}
+
+#: (type id, message class, per-type fields beyond the shared header).
+#: Append-only: ids are the wire contract.
+_REGISTRY: Tuple[Tuple[int, type, Tuple[Tuple[str, str], ...]], ...] = (
+    (1, m.JoinRequest, (("msg_id", "u128"), ("joiner", "desc"),
+                        ("rows", "rows"))),
+    (2, m.JoinReply, (("rows", "rows"), ("leaf_set", "desc_list"))),
+    (3, m.LsProbe, (("leaf_set", "desc_list"), ("failed", "desc_list"))),
+    (4, m.LsProbeReply, (("leaf_set", "desc_list"), ("failed", "desc_list"))),
+    (5, m.Heartbeat, ()),
+    (6, m.RtProbe, (("seq", "u32"),)),
+    (7, m.RtProbeReply, (("seq", "u32"),)),
+    (8, m.DistanceProbe, (("seq", "u32"),)),
+    (9, m.DistanceProbeReply, (("seq", "u32"),)),
+    (10, m.DistanceReport, (("rtt", "f64"),)),
+    (11, m.RowAnnounce, (("row", "u16"), ("entries", "desc_list"))),
+    (12, m.RowRequest, (("row", "u16"),)),
+    (13, m.RowReply, (("row", "u16"), ("entries", "desc_list"))),
+    (14, m.SlotRequest, (("row", "u16"), ("col", "u16"))),
+    (15, m.SlotReply, (("row", "u16"), ("col", "u16"), ("entry", "desc"))),
+    (16, m.LeafSetRequest, (("key", "u128"),)),
+    (17, m.LeafSetReply, (("key", "u128"), ("nodes", "desc_list"))),
+    (18, m.Lookup, (("msg_id", "u128"), ("key", "u128"), ("source", "desc"),
+                    ("sent_at", "f64"), ("hops", "u32"),
+                    ("payload", "payload"), ("wants_acks", "bool"),
+                    ("deferrals", "u32"))),
+    (19, m.Ack, (("msg_id", "u128"),)),
+    (20, m.StateRequest, ()),
+    (21, m.StateReply, (("nodes", "desc_list"),)),
+    (22, m.AppDirect, (("payload", "payload"),)),
+)
+
+_TYPE_TO_ID: Dict[type, int] = {cls: tid for tid, cls, _ in _REGISTRY}
+_ID_TO_ENTRY: Dict[int, Tuple[type, Tuple[Tuple[str, str], ...]]] = {
+    tid: (cls, fields) for tid, cls, fields in _REGISTRY
+}
+_TYPE_TO_FIELDS: Dict[type, Tuple[Tuple[str, str], ...]] = {
+    cls: fields for _, cls, fields in _REGISTRY
+}
+
+
+def wire_types() -> List[type]:
+    """Every message class with a wire codec (registry order)."""
+    return [cls for _, cls, _ in _REGISTRY]
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def encode(msg: m.Message) -> bytes:
+    """Serialize one message to its canonical wire bytes."""
+    type_id = _TYPE_TO_ID.get(msg.__class__)
+    if type_id is None:
+        raise WireError(f"no wire codec for {type(msg).__name__}")
+    flags = 0
+    if msg.sender is not None:
+        flags |= _FLAG_SENDER
+    if msg.tuning_hint is not None:
+        flags |= _FLAG_HINT
+    out = bytearray((WIRE_VERSION, type_id, flags))
+    if msg.sender is not None:
+        _w_u128(out, msg.sender.id, "sender.id")
+        _w_uint(out, msg.sender.addr, _U64, _MAX_U64, "sender.addr")
+    if msg.tuning_hint is not None:
+        _w_f64(out, msg.tuning_hint, "tuning_hint")
+    what = type(msg).__name__
+    for attr, kind in _TYPE_TO_FIELDS[msg.__class__]:
+        _WRITERS[kind](out, getattr(msg, attr), f"{what}.{attr}")
+    return bytes(out)
+
+
+def decode(data: bytes) -> m.Message:
+    """Parse canonical wire bytes back into a message.
+
+    Strict: the buffer must contain exactly one message — trailing bytes
+    are an error, as is any truncation or unknown type/version.
+    """
+    buf = bytes(data)
+    _need(buf, 0, 3)
+    version, type_id, flags = buf[0], buf[1], buf[2]
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version: {version}")
+    entry = _ID_TO_ENTRY.get(type_id)
+    if entry is None:
+        raise WireError(f"unknown message type id: {type_id}")
+    if flags & ~(_FLAG_SENDER | _FLAG_HINT):
+        raise WireError(f"unknown flag bits set: {flags:#x}")
+    cls, fields = entry
+    off = 3
+    sender: Optional[NodeDescriptor] = None
+    if flags & _FLAG_SENDER:
+        sender_id, off = _r_u128(buf, off)
+        sender_addr, off = _r_uint(buf, off, _U64)
+        sender = intern_descriptor(sender_id, sender_addr)
+    hint: Optional[float] = None
+    if flags & _FLAG_HINT:
+        hint, off = _r_f64(buf, off)
+    msg = cls()
+    msg.sender = sender
+    msg.tuning_hint = hint
+    for attr, kind in fields:
+        value, off = _READERS[kind](buf, off)
+        setattr(msg, attr, value)
+    if off != len(buf):
+        raise WireError(
+            f"{len(buf) - off} trailing byte(s) after {cls.__name__}")
+    return msg
+
+
+def encode_frame(msg: m.Message) -> bytes:
+    """``encode`` with a u32 length prefix (stream transports, artifacts)."""
+    body = encode(msg)
+    return _U32.pack(len(body)) + body
+
+
+def decode_frame(data: bytes, off: int = 0) -> Tuple[m.Message, int]:
+    """Parse one length-prefixed frame at ``off``; returns (msg, new off)."""
+    buf = bytes(data)
+    length, off = _r_uint(buf, off, _U32)
+    _need(buf, off, length)
+    return decode(buf[off:off + length]), off + length

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.interfaces import Clock, TimerHandle
 
 
 class PeriodicTask:
@@ -20,7 +20,7 @@ class PeriodicTask:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         period: float,
         callback: Callable[[], None],
         *,
@@ -33,7 +33,7 @@ class PeriodicTask:
         self._period = period
         self._callback = callback
         self._jitter = jitter
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[TimerHandle] = None
         self._stopped = False
         first = period if start_delay is None else start_delay
         self._schedule(first)

@@ -24,7 +24,7 @@ def lint_snippet(source, path=ANY_PATH, select=None):
 
 def test_registry_has_all_advertised_rules():
     assert REGISTRY.codes() == [
-        "DET001", "DET002", "DET003", "DET004", "DET005",
+        "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
         "HARN001", "HOT001", "HOT002", "SIM001", "SIM002",
     ]
 
@@ -371,3 +371,96 @@ def test_syntax_error_reported_not_raised(tmp_path):
     report = lint_paths([bad], root=tmp_path)
     assert [f.code for f in report.findings] == ["LINT001"]
     assert report.failed
+
+
+# ----------------------------------------------------------------------
+# DET006 — no real-IO imports in sim code
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("snippet", [
+    "import asyncio\n",
+    "import socket\n",
+    "import threading\n",
+    "import subprocess\n",
+    "import selectors\n",
+    "from asyncio import get_event_loop\n",
+    "from socket import socket\n",
+    "import asyncio.events\n",
+])
+def test_det006_triggers_in_sim_code(snippet):
+    assert "DET006" in lint_snippet(snippet, path=SIM_PATH)
+
+
+@pytest.mark.parametrize("snippet", [
+    "import heapq\n",
+    "import struct\n",
+    "from repro.sim.engine import Simulator\n",
+])
+def test_det006_clean_imports(snippet):
+    assert "DET006" not in lint_snippet(snippet, path=SIM_PATH)
+
+
+def test_det006_not_applied_outside_sim_packages():
+    assert "DET006" not in lint_snippet("import asyncio\n", path=ANY_PATH)
+
+
+# ----------------------------------------------------------------------
+# Package exemptions — repro.runtime opts out with a documented reason
+# ----------------------------------------------------------------------
+RUNTIME_PATH = "src/repro/runtime/fixture.py"
+
+#: one snippet that violates every contract runtime is exempt from
+_RUNTIME_SNIPPET = (
+    "import asyncio\n"
+    "import time\n"
+    "t = time.monotonic()\n"
+)
+
+
+def test_runtime_package_exempt_from_real_world_rules():
+    codes = lint_snippet(_RUNTIME_SNIPPET, path=RUNTIME_PATH)
+    assert "DET002" not in codes
+    assert "DET006" not in codes
+
+
+def test_same_snippet_still_flagged_in_policed_packages():
+    for path in (SIM_PATH, "src/repro/pastry/fixture.py"):
+        codes = lint_snippet(_RUNTIME_SNIPPET, path=path)
+        assert "DET002" in codes, path
+        assert "DET006" in codes, path
+
+
+def test_runtime_still_policed_for_global_random():
+    snippet = "import random\nx = random.random()\n"
+    assert "DET001" in lint_snippet(snippet, path=RUNTIME_PATH)
+
+
+def test_package_exemption_requires_reason():
+    from repro.analysis.core import AnalysisError, ExemptionRegistry
+    registry = ExemptionRegistry()
+    with pytest.raises(AnalysisError):
+        registry.add("repro/foo", ("DET002",), "")
+    with pytest.raises(AnalysisError):
+        registry.add("repro/foo", (), "codes must be non-empty")
+    with pytest.raises(AnalysisError):
+        registry.add("", ("DET002",), "package must be non-empty")
+
+
+def test_package_exemption_scoped_to_listed_codes():
+    from repro.analysis.core import ExemptionRegistry
+    registry = ExemptionRegistry()
+    registry.add("repro/sim", ("DET002",), "test-only carve-out")
+    ctx = FileContext.parse(SIM_PATH, "import time\nt = time.time()\n"
+                                      "import asyncio\n")
+    codes = [f.code for f in check_file(ctx, REGISTRY.rules(),
+                                        exemptions=registry)]
+    assert "DET002" not in codes   # exempted
+    assert "DET006" in codes       # not listed -> still enforced
+
+
+def test_registered_exemptions_all_carry_reasons():
+    from repro.analysis.core import EXEMPTIONS
+    exemptions = EXEMPTIONS.all()
+    assert any(e.package == "repro/runtime" for e in exemptions)
+    for exemption in exemptions:
+        assert exemption.reason.strip()
+        assert exemption.codes

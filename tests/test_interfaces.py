@@ -1,0 +1,100 @@
+"""Both substrates satisfy the Transport/Clock seam (repro.interfaces).
+
+The Protocols are ``runtime_checkable``, so structural conformance is
+asserted directly on real instances of both implementations.  The typed
+helper functions double as static conformance checks: mypy verifies the
+implicit Simulator->Clock and Network->Transport assignments compile
+(these are the assignments ``MSPastryNode.__init__`` relies on).
+"""
+
+import asyncio
+import random
+
+from repro.interfaces import Clock, TimerHandle, Transport
+from repro.network.simple import UniformDelayTopology
+from repro.network.transport import Network
+from repro.runtime.clock import AsyncioClock
+from repro.runtime.transport import UdpTransport
+from repro.sim.engine import Simulator
+
+
+def _as_clock(clock: Clock) -> Clock:
+    return clock
+
+
+def _as_transport(transport: Transport) -> Transport:
+    return transport
+
+
+def test_simulator_satisfies_clock_protocol():
+    sim = Simulator()
+    assert isinstance(sim, Clock)
+    clock = _as_clock(sim)
+    handle = clock.schedule(1.0, lambda: None)
+    assert isinstance(handle, TimerHandle)
+    assert handle.active and handle.time == 1.0
+    handle.cancel()
+    assert not handle.active
+    assert clock.schedule_call(1.0, lambda: None) is None
+    assert clock.now == 0.0
+
+
+def test_asyncio_clock_satisfies_clock_protocol():
+    async def main():
+        clock = _as_clock(AsyncioClock())
+        assert isinstance(clock, Clock)
+        handle = clock.schedule(5.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+        clock.close()
+    asyncio.run(main())
+
+
+def test_sim_network_satisfies_transport_protocol():
+    sim = Simulator()
+    network = Network(sim, UniformDelayTopology(0.01), random.Random(1))
+    assert isinstance(network, Transport)
+    transport = _as_transport(network)
+    addr = transport.attach()
+    received = []
+    transport.register(addr, lambda src, msg: received.append(msg),
+                       owner="node")
+    assert transport.is_registered(addr)
+    assert transport.owner_of(addr) == "node"
+    assert transport.addresses() == [addr]
+    transport.send(addr, addr, "hello")
+    sim.run()
+    assert received == ["hello"]
+    transport.deregister(addr)
+    assert not transport.is_registered(addr)
+
+
+def test_udp_transport_satisfies_transport_protocol():
+    async def main():
+        transport = await UdpTransport.open()
+        assert isinstance(transport, Transport)
+        _as_transport(transport)
+        transport.close()
+    asyncio.run(main())
+
+
+def test_both_clocks_share_timer_consumption_semantics():
+    """A fired timer reports inactive on both substrates — protocol timer
+    bookkeeping (``handle.active`` checks in acks.py/node.py) relies on it.
+    """
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "sim")
+    sim.run()
+    assert fired and not handle.active
+
+    async def main():
+        clock = AsyncioClock()
+        handle = clock.schedule(0.01, fired.append, "real")
+        await asyncio.sleep(0.05)
+        assert not handle.active
+        clock.close()
+    asyncio.run(main())
+    assert fired == ["sim", "real"]
