@@ -1,8 +1,10 @@
 """detlint: determinism & simulation-correctness static analysis.
 
-See DESIGN.md §9 for the contract each rule encodes.  Entry points:
+See DESIGN.md §9 (per-file rules) and §14 (whole-program tier) for the
+contract each rule encodes.  Entry points:
 
-* ``python -m repro.cli lint`` — the CLI verb (human/JSON output, baseline)
+* ``python -m repro.cli lint`` — the CLI verb (human/JSON/SARIF output,
+  baseline, incremental cache)
 * :func:`repro.analysis.runner.lint_paths` — the library API
 """
 
@@ -13,22 +15,47 @@ from repro.analysis.baseline import (
     build_baseline,
     DEFAULT_BASELINE_NAME,
 )
+from repro.analysis.cache import LintCache, rules_fingerprint
 from repro.analysis.core import (
+    EXEMPTIONS,
     REGISTRY,
     AnalysisError,
     FileContext,
     Finding,
+    PackageExemption,
     Rule,
     RuleRegistry,
     check_file,
     register,
 )
-from repro.analysis.reporters import render_human, render_json, summarize
+from repro.analysis.project import (
+    PROJECT_REGISTRY,
+    ModuleSummary,
+    ProjectContext,
+    ProjectRule,
+    build_project,
+    check_project,
+    register_project,
+    summarize_module,
+)
+from repro.analysis.reporters import (
+    render_human,
+    render_json,
+    render_sarif,
+    summarize,
+    validate_sarif,
+)
 from repro.analysis.runner import (
     LintReport,
     ToolOutcome,
     collect_files,
     lint_paths,
     run_all_tools,
+    run_all_tools_cached,
+)
+from repro.analysis.rules_flow import (
+    WIRE_BASELINE_NAME,
+    load_wire_baseline,
+    write_wire_baseline,
 )
 from repro.analysis.suppress import Suppressions, parse_suppressions

@@ -1,0 +1,150 @@
+"""Content-hash-keyed incremental cache for the detlint runner.
+
+A warm ``repro lint`` run should pay for *hashing*, not re-analysis: per
+file the cache stores the raw (pre-suppression) findings of every
+registered per-file rule, the parsed suppression directives, and the
+project-tier :class:`~repro.analysis.project.ModuleSummary`, all keyed
+by the file's content hash.  Whole-program findings are cached under a
+key derived from every file hash plus the wire baseline, so any change
+to any file (or to the id baseline) re-runs the project tier — the
+call-graph-dependent invalidation falls out of that conservatively.
+
+Two invariants keep caching invisible in the output:
+
+* raw findings and directives are cached, but suppression *matching* and
+  unused-directive reporting replay on every run, so a cached file still
+  interacts correctly with findings produced elsewhere (e.g. a project
+  finding suppressed by a line comment in a cached file);
+* the whole cache is discarded when ``rules_fp`` — a hash over the
+  analysis package's own sources and the select set shape — changes, so
+  editing a rule invalidates everything it might say.
+
+Cache hits/misses are surfaced on stderr by the CLI only; they never
+appear in reports, keeping warm-run output byte-identical to cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+CACHE_SCHEMA = 1
+
+#: default cache file name, resolved against the lint root
+CACHE_NAME = ".detlint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rules_fingerprint() -> str:
+    """Hash of the analysis package's own sources.
+
+    Any edit to a rule, the dataflow engine or the runner invalidates
+    every cached result — cheap insurance against stale findings.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def project_key(rules_fp: str, file_hashes: Dict[str, str],
+                wire_baseline_bytes: bytes) -> str:
+    """Key under which whole-program findings are valid."""
+    digest = hashlib.sha256(rules_fp.encode())
+    for rel in sorted(file_hashes):
+        digest.update(rel.encode())
+        digest.update(file_hashes[rel].encode())
+    digest.update(wire_baseline_bytes)
+    return digest.hexdigest()
+
+
+@dataclass
+class FileEntry:
+    """Cached per-file analysis, valid while the content hash matches."""
+
+    content_hash: str
+    raw_findings: List[Dict] = field(default_factory=list)
+    suppress: Dict = field(default_factory=dict)
+    summary: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {"content_hash": self.content_hash,
+                "raw_findings": self.raw_findings,
+                "suppress": self.suppress, "summary": self.summary}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FileEntry":
+        return cls(content_hash=doc["content_hash"],
+                   raw_findings=list(doc["raw_findings"]),
+                   suppress=dict(doc["suppress"]),
+                   summary=dict(doc["summary"]))
+
+
+@dataclass
+class LintCache:
+    """The on-disk cache: per-file entries + project/tool result sets."""
+
+    rules_fp: str = ""
+    files: Dict[str, FileEntry] = field(default_factory=dict)
+    project_key: str = ""
+    project_findings: List[Dict] = field(default_factory=list)
+    tools_key: str = ""
+    tools: List[Dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, rules_fp: str) -> "LintCache":
+        """Load the cache; any mismatch or corruption yields a fresh one."""
+        fresh = cls(rules_fp=rules_fp)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return fresh
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            return fresh
+        if doc.get("rules_fp") != rules_fp:
+            return fresh
+        try:
+            cache = cls(
+                rules_fp=rules_fp,
+                files={rel: FileEntry.from_dict(entry)
+                       for rel, entry in doc.get("files", {}).items()},
+                project_key=str(doc.get("project_key", "")),
+                project_findings=list(doc.get("project_findings", [])),
+                tools_key=str(doc.get("tools_key", "")),
+                tools=list(doc.get("tools", [])),
+            )
+        except (KeyError, TypeError, ValueError):
+            return fresh
+        return cache
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "rules_fp": self.rules_fp,
+            "files": {rel: self.files[rel].to_dict()
+                      for rel in sorted(self.files)},
+            "project_key": self.project_key,
+            "project_findings": self.project_findings,
+            "tools_key": self.tools_key,
+            "tools": self.tools,
+        }
+        try:
+            path.write_text(json.dumps(doc, sort_keys=False) + "\n",
+                            encoding="utf-8")
+        except OSError:
+            # caching is an optimization; a read-only tree must still lint
+            pass
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the scan."""
+        live = set(live_paths)
+        for rel in sorted(set(self.files) - live):
+            del self.files[rel]

@@ -55,6 +55,17 @@ class Finding:
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "severity": self.severity,
+                "path": self.path, "line": self.line, "col": self.col,
+                "message": self.message, "line_text": self.line_text}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "Finding":
+        return cls(code=doc["code"], severity=doc["severity"],
+                   path=doc["path"], line=doc["line"], col=doc["col"],
+                   message=doc["message"], line_text=doc.get("line_text", ""))
+
 
 @dataclass
 class FileContext:
@@ -257,6 +268,29 @@ class ExemptionRegistry:
 
     def all(self) -> List[PackageExemption]:
         return list(self._all)
+
+    def validate(self, rel_paths: Sequence[str]) -> None:
+        """Every exempted package must actually exist in the scanned tree.
+
+        An exemption whose package matches no scanned file is a policy
+        hole waiting to happen — a rename silently turns a documented
+        opt-out into dead configuration while the code it used to cover
+        re-enters enforcement (or worse, a typo'd exemption never covered
+        anything).  Raises :class:`AnalysisError` for each offender.
+        """
+        contexts = [
+            FileContext(rel_path=rel, source="",
+                        tree=ast.Module(body=[], type_ignores=[]))
+            for rel in rel_paths
+        ]
+        dead = sorted(
+            {e.package for e in self._all
+             if not any(ctx.in_package(e.package) for ctx in contexts)})
+        if dead:
+            raise AnalysisError(
+                "package exemption(s) match no scanned file: "
+                + ", ".join(dead)
+                + " — remove the exemption or fix the package path")
 
 
 #: the default exemption registry; rule modules declare into it on import

@@ -1,0 +1,412 @@
+"""Whole-program rule families (RNG, FLOW, WIRE, PAR).
+
+These rules run on the :class:`~repro.analysis.project.ProjectContext`
+built from *all* scanned modules at once, so they see hazards the
+per-file tier is structurally blind to:
+
+* **RNG001** — a derived RNG stream is aliased: two streams flow into one
+  consumer call, one stream feeds consumers in different subsystems, or a
+  stream escapes into module-global state.  Stream discipline (DESIGN.md
+  §4) is one stream, one consumer — sharing couples draw sequences across
+  subsystems and breaks perturbation independence.
+* **RNG002** — a module-global ``random.Random`` (or module-global derived
+  stream) is defined in any module transitively imported by simulation
+  code.  Process-wide RNG state defeats seed isolation even when every
+  call site looks innocent.
+* **FLOW001** — a value tainted by a wall-clock or ambient-state source
+  flows into ``repro.sim`` / ``repro.pastry`` / ``repro.overlay`` state or
+  call arguments.  This is the dataflow-precise successor of the
+  import-level DET006: it catches the hazard *after* the Transport/Clock
+  seam, where ``repro.runtime`` (legitimately wall-clocked) hands values
+  to protocol code.
+* **WIRE001/WIRE002** — the wire codec's ``_REGISTRY`` must cover every
+  ``Message`` subclass, and its type ids are append-only against the
+  committed ``.detlint-wire-baseline.json``.
+* **PAR001** — multiprocessing entry points must not (transitively)
+  mutate module-level state: the precondition for the sharded
+  parallel-DES roadmap item.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import AnalysisError, Finding
+from repro.analysis.dataflow import REAL_WORLD_TAGS, is_rng_tag
+from repro.analysis.project import (
+    ProjectContext,
+    ProjectRule,
+    register_project,
+    subsystem_of,
+)
+from repro.analysis.rules_determinism import SIM_PACKAGES
+
+#: subsystems whose *state* the FLOW family protects (sim-side only —
+#: repro.runtime is wall-clocked by design, repro.harness measures time)
+_PROTECTED_SUBSYSTEMS = frozenset({"repro.sim", "repro.pastry",
+                                   "repro.overlay"})
+
+#: dotted prefixes of "simulation code" for RNG002 reachability, derived
+#: from the same SIM_PACKAGES the per-file tier uses
+_SIM_SUBSYSTEMS = frozenset(p.replace("/", ".") for p in SIM_PACKAGES)
+
+#: the root of the message class hierarchy the wire registry encodes
+_MESSAGE_BASE = "repro.pastry.messages.Message"
+
+#: default location of the committed wire-id baseline
+WIRE_BASELINE_NAME = ".detlint-wire-baseline.json"
+
+
+def _fmt(tags) -> str:
+    return ", ".join(sorted(tags))
+
+
+@register_project
+class StreamAliasing(ProjectRule):
+    """RNG001: a derived RNG stream must have exactly one consumer."""
+
+    code = "RNG001"
+    name = "rng-stream-aliasing"
+    severity = "error"
+    description = (
+        "Each derived stream (streams.stream(name)) owns one consumer: "
+        "aliasing two streams into one call, feeding one stream to "
+        "consumers in different subsystems, or storing a stream in "
+        "module-global state couples draw sequences that the seed "
+        "derivation scheme guarantees are independent."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            #: rng tag -> {(callee, subsystem)} seen so far in this function
+            consumers: Dict[str, Set[Tuple[str, str]]] = {}
+            for call in fn.calls:
+                conc = frozenset().union(*(
+                    project.concrete_taints(t) for t in call.arg_taints
+                )) if call.arg_taints else frozenset()
+                rng_tags = sorted(t for t in conc if is_rng_tag(t))
+                if len(rng_tags) >= 2:
+                    yield self.project_finding(
+                        project, fn.module, call.line, call.col,
+                        call.line_text,
+                        f"call receives {len(rng_tags)} derived RNG streams "
+                        f"({_fmt(rng_tags)}); each consumer owns exactly "
+                        f"one stream — derive a dedicated stream instead")
+                if not call.callee:
+                    continue
+                callee_module = project.module_of_function(call.callee)
+                if callee_module is None:
+                    continue
+                callee_sub = subsystem_of(callee_module)
+                for tag in rng_tags:
+                    seen = consumers.setdefault(tag, set())
+                    other_subs = sorted(s for _, s in seen
+                                        if s != callee_sub)
+                    if other_subs and all(c != call.callee
+                                          for c, _ in seen):
+                        prior = _fmt(c for c, s in seen
+                                     if s == other_subs[0])
+                        yield self.project_finding(
+                            project, fn.module, call.line, call.col,
+                            call.line_text,
+                            f"stream {tag!r} already feeds {prior} "
+                            f"({other_subs[0]}); sharing it with "
+                            f"{call.callee} ({callee_sub}) couples RNG "
+                            f"state across subsystems")
+                    seen.add((call.callee, callee_sub))
+            for write in fn.global_writes:
+                conc = project.concrete_taints(write.taints)
+                rng_tags = sorted(t for t in conc if is_rng_tag(t))
+                if rng_tags:
+                    yield self.project_finding(
+                        project, fn.module, write.line, write.col,
+                        write.line_text,
+                        f"derived RNG stream ({_fmt(rng_tags)}) stored in "
+                        f"module-global {write.name!r}; streams must stay "
+                        f"owned by the object that derived them")
+
+
+@register_project
+class NoGlobalRandomObjects(ProjectRule):
+    """RNG002: no module-global Random reachable from simulation code."""
+
+    code = "RNG002"
+    name = "no-global-random-object"
+    severity = "error"
+    description = (
+        "A module-level random.Random (or module-level derived stream) is "
+        "process-wide shared RNG state: any import anywhere in the sim "
+        "dependency graph couples otherwise-independent draw sequences. "
+        "The per-file DET001 sees only unseeded constructors in the sim "
+        "packages themselves; this rule follows the import graph."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        sim_modules = sorted(
+            m for m in project.modules
+            if any(m == s or m.startswith(s + ".")
+                   for s in sorted(_SIM_SUBSYSTEMS)))
+        reachable = project.reachable_modules(sim_modules)
+        for module in sorted(reachable):
+            for g in project.modules[module].module_globals:
+                if g.kind == "random-global":
+                    yield self.project_finding(
+                        project, module, g.line, g.col, g.line_text,
+                        f"module-global Random object {g.name!r} is "
+                        f"reachable from simulation code; inject a "
+                        f"stream-seeded Random through constructors")
+                elif g.kind == "rng-stream-global":
+                    yield self.project_finding(
+                        project, module, g.line, g.col, g.line_text,
+                        f"module-global derived RNG stream {g.name!r} is "
+                        f"shared process-wide; derive streams inside the "
+                        f"run that owns them")
+
+
+@register_project
+class NoRealWorldFlow(ProjectRule):
+    """FLOW001: wall-clock/ambient taint must not reach sim state."""
+
+    code = "FLOW001"
+    name = "no-real-world-flow"
+    severity = "error"
+    description = (
+        "Values derived from wall-clock or ambient-state reads (the "
+        "DET002/DET005 source sets) must not flow — through assignments, "
+        "helper returns and call arguments — into repro.sim / "
+        "repro.pastry / repro.overlay state.  The import-level DET006 "
+        "cannot see a tainted value handed across the Transport/Clock "
+        "seam; this rule tracks the value itself."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            fn_protected = subsystem_of(fn.module) in _PROTECTED_SUBSYSTEMS
+            for write in fn.state_writes + fn.global_writes:
+                conc = project.concrete_taints(write.taints)
+                real = sorted(conc & REAL_WORLD_TAGS)
+                if not real:
+                    continue
+                sink = fn_protected
+                ctor = getattr(write, "ctor", "")
+                if not sink and ctor:
+                    owner = project.owning_module(ctor)
+                    sink = owner is not None and \
+                        subsystem_of(owner) in _PROTECTED_SUBSYSTEMS
+                if sink:
+                    target = getattr(write, "attr", None) or \
+                        getattr(write, "name", "?")
+                    yield self.project_finding(
+                        project, fn.module, write.line, write.col,
+                        write.line_text,
+                        f"value tainted by {_fmt(real)} source flows into "
+                        f"simulation state ({target!r}); simulated code "
+                        f"must derive state from the spec/seed and "
+                        f"engine time only")
+            for call in fn.calls:
+                if not call.callee:
+                    continue
+                callee_module = project.module_of_function(call.callee)
+                if callee_module is None or \
+                        subsystem_of(callee_module) not in \
+                        _PROTECTED_SUBSYSTEMS:
+                    continue
+                for index, taints in enumerate(call.arg_taints):
+                    real = sorted(project.concrete_taints(taints)
+                                  & REAL_WORLD_TAGS)
+                    if real:
+                        yield self.project_finding(
+                            project, fn.module, call.line, call.col,
+                            call.line_text,
+                            f"argument {index} of {call.callee} is tainted "
+                            f"by {_fmt(real)}; wall-clock/ambient values "
+                            f"must not cross into "
+                            f"{subsystem_of(callee_module)}")
+
+
+def _registry_entries(project: ProjectContext) -> List[Tuple[str, int, str]]:
+    """(defining module, type id, class fq) for every wire registry."""
+    out: List[Tuple[str, int, str]] = []
+    for module in sorted(project.modules):
+        for type_id, cls_fq in project.modules[module].wire_registry:
+            out.append((module, type_id, cls_fq))
+    return out
+
+
+def _registry_site(project: ProjectContext, module: str) -> Tuple[int, int, str]:
+    for g in project.modules[module].module_globals:
+        if g.name == "_REGISTRY":
+            return g.line, g.col, g.line_text
+    return 1, 0, ""
+
+
+@register_project
+class WireRegistryComplete(ProjectRule):
+    """WIRE001: every Message subclass must be wire-encodable."""
+
+    code = "WIRE001"
+    name = "wire-registry-complete"
+    severity = "error"
+    description = (
+        "Every Message subclass reachable from pastry.node dispatch must "
+        "have an entry in the wire _REGISTRY (and every entry must name a "
+        "real Message subclass); a missing entry surfaces only when a "
+        "live node first tries to encode that type."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        entries = _registry_entries(project)
+        if not entries:
+            return  # tree has no wire layer
+        registered = {cls_fq for _, _, cls_fq in entries}
+        subclasses = {c.qualname: c
+                      for c in project.subclasses_of(_MESSAGE_BASE)}
+        for qualname in sorted(set(subclasses) - registered):
+            info = subclasses[qualname]
+            yield self.project_finding(
+                project, info.module, info.line, 0,
+                "", f"Message subclass {qualname} has no wire _REGISTRY "
+                    f"entry; it cannot cross the UDP runtime")
+        known_classes = set(project.classes)
+        for module, type_id, cls_fq in entries:
+            if cls_fq in subclasses or cls_fq == _MESSAGE_BASE:
+                continue
+            line, col, text = _registry_site(project, module)
+            if cls_fq not in known_classes:
+                detail = "an unknown class"
+            else:
+                detail = "a class outside the Message hierarchy"
+            yield self.project_finding(
+                project, module, line, col, text,
+                f"wire _REGISTRY id {type_id} references {detail} "
+                f"({cls_fq})")
+
+
+@register_project
+class WireIdsAppendOnly(ProjectRule):
+    """WIRE002: wire type ids are append-only vs the committed baseline."""
+
+    code = "WIRE002"
+    name = "wire-ids-append-only"
+    severity = "error"
+    description = (
+        "Deployed nodes decode by type id: removing, reassigning or "
+        "recycling an id silently corrupts mixed-version traffic.  Ids "
+        "are checked against the committed .detlint-wire-baseline.json; "
+        "new message types must take fresh ids past the baseline's "
+        "maximum (refresh with repro lint --write-wire-baseline)."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        entries = _registry_entries(project)
+        if not entries:
+            return
+        module = entries[0][0]
+        line, col, text = _registry_site(project, module)
+        baseline = project.wire_baseline
+        if baseline is None:
+            yield Finding(
+                code=self.code, severity="warning",
+                path=project.rel_path_of(module), line=line, col=col,
+                line_text=text,
+                message=(f"no committed wire-id baseline "
+                         f"({WIRE_BASELINE_NAME}); run repro lint "
+                         f"--write-wire-baseline to pin the id space"))
+            return
+        current = {type_id: cls_fq for _, type_id, cls_fq in entries}
+        max_baseline = max(baseline) if baseline else 0
+        for type_id in sorted(baseline):
+            cls_fq = baseline[type_id]
+            if type_id not in current:
+                yield self.project_finding(
+                    project, module, line, col, text,
+                    f"wire type id {type_id} ({cls_fq}) was removed; ids "
+                    f"are append-only — deployed nodes still send it")
+            elif current[type_id] != cls_fq:
+                yield self.project_finding(
+                    project, module, line, col, text,
+                    f"wire type id {type_id} reassigned from {cls_fq} to "
+                    f"{current[type_id]}; ids are append-only")
+        for type_id in sorted(set(current) - set(baseline)):
+            if type_id <= max_baseline:
+                yield self.project_finding(
+                    project, module, line, col, text,
+                    f"new wire type id {type_id} ({current[type_id]}) "
+                    f"reuses retired id space; append past "
+                    f"{max_baseline} instead")
+
+
+@register_project
+class EntryPointPurity(ProjectRule):
+    """PAR001: multiprocessing entry points must not mutate module state."""
+
+    code = "PAR001"
+    name = "entry-point-purity"
+    severity = "error"
+    description = (
+        "A Process target / pool worker runs concurrently with its "
+        "siblings: mutating module-level state (directly or through any "
+        "callee) makes results depend on scheduling, and on fork-based "
+        "platforms leaks state between shards.  This is the precondition "
+        "the sharded parallel-DES roadmap item relies on.  The per-file "
+        "HARN001 checks the worker is picklable; this rule follows its "
+        "whole call graph."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            for entry in project.modules[module].entry_points:
+                fn = project.resolve_function(entry.target)
+                if fn is None:
+                    continue  # dynamic shapes are HARN001's department
+                mutated = project.mutated_globals(entry.target)
+                if not mutated:
+                    continue
+                detail = "; ".join(
+                    f"{name} ({where})"
+                    for name, where in sorted(mutated)[:4])
+                more = len(mutated) - min(len(mutated), 4)
+                if more > 0:
+                    detail += f"; and {more} more"
+                yield self.project_finding(
+                    project, module, entry.line, entry.col,
+                    entry.line_text,
+                    f"multiprocessing entry point {entry.target} mutates "
+                    f"module-level state: {detail}; shard workers must "
+                    f"keep all state run-local")
+
+
+# ----------------------------------------------------------------------
+# Wire baseline file helpers (used by the runner and the CLI)
+# ----------------------------------------------------------------------
+
+def load_wire_baseline(path: Path) -> Optional[Dict[int, str]]:
+    """Load the committed id baseline; None when the file is absent."""
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot read wire baseline {path}: {exc}") \
+            from exc
+    if not isinstance(doc, dict) or doc.get("schema") != 1:
+        raise AnalysisError(f"unsupported wire baseline schema in {path}")
+    entries = doc.get("entries", {})
+    return {int(type_id): str(cls_fq)
+            for type_id, cls_fq in sorted(entries.items(),
+                                          key=lambda kv: int(kv[0]))}
+
+
+def write_wire_baseline(path: Path, project: ProjectContext) -> int:
+    """Pin the current registry ids; returns the number of entries."""
+    entries = {str(type_id): cls_fq
+               for _, type_id, cls_fq in _registry_entries(project)}
+    doc = {"schema": 1, "entries": dict(sorted(
+        entries.items(), key=lambda kv: int(kv[0])))}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return len(entries)

@@ -1,14 +1,16 @@
 """Suppression comments: ``# detlint: disable=CODE -- justification``.
 
 Suppressing a determinism finding is an engineering decision, so the
-justification text is *mandatory*: a suppression without one does not
-suppress anything and instead produces a ``LINT000`` finding of its own.
+justification text is *mandatory* and must *name every code it covers*:
+a suppression without a justification — or whose justification does not
+mention the suppressed code — does not suppress anything and instead
+produces a ``LINT000`` finding of its own.
 
 Forms::
 
-    x = time.time()  # detlint: disable=DET002 -- user-facing wall clock
-    # detlint: disable-next-line=DET003,DET004 -- seeded fixture data
-    # detlint: disable-file=SIM001 -- this whole module is an I/O shim
+    x = time.time()  # detlint: disable=DET002 -- DET002: user-facing clock
+    # detlint: disable-next-line=DET003,DET004 -- DET003+DET004: seeded fixture
+    # detlint: disable-file=SIM001 -- SIM001: this whole module is an I/O shim
 
 ``disable`` applies to its own line, ``disable-next-line`` to the line
 below, ``disable-file`` to the entire file.  Codes are comma-separated.
@@ -74,6 +76,25 @@ class Suppressions:
                                f"matched no finding")
         return out
 
+    def to_dict(self) -> Dict:
+        """Serialize for the incremental cache (``used`` is run state)."""
+        return {
+            "file_level": dict(sorted(self.file_level.items())),
+            "by_line": {str(line): dict(sorted(codes.items()))
+                        for line, codes in sorted(self.by_line.items())},
+            "problems": [p.to_dict() for p in self.problems],
+        }
+
+    @classmethod
+    def from_dict(cls, path: str, doc: Dict) -> "Suppressions":
+        return cls(
+            path=path,
+            file_level=dict(doc["file_level"]),
+            by_line={int(line): dict(codes)
+                     for line, codes in doc["by_line"].items()},
+            problems=[Finding.from_dict(p) for p in doc["problems"]],
+        )
+
 
 def _problem(path: str, lineno: int, text: str, message: str) -> Finding:
     return Finding(code=LINT000, severity="error", path=path, line=lineno,
@@ -122,6 +143,18 @@ def parse_suppressions(path: str, source: str) -> Suppressions:
                 path, lineno, text,
                 "suppression requires a justification: append "
                 "'-- <why this is safe>'"))
+            continue
+        # The justification must name what it is justifying: a directive
+        # like "-- legacy" says nothing a reviewer can audit, and when
+        # codes are added to an existing directive the old justification
+        # silently covers the new code too.
+        unnamed = sorted(c for c in codes if c not in why)
+        if unnamed:
+            sup.problems.append(_problem(
+                path, lineno, text,
+                f"suppression justification must name the rule code(s) it "
+                f"covers (missing: {', '.join(unnamed)}); write e.g. "
+                f"'-- {unnamed[0]}: <why this is safe>'"))
             continue
         kind = match.group("kind")
         if kind == "disable-file":

@@ -1,0 +1,153 @@
+"""Incremental-cache behavior: reuse, invalidation, identical output."""
+
+import json
+
+import pytest
+
+import repro.analysis.runner  # noqa: F401  (registers the rules)
+from repro.analysis import LintCache, lint_paths, render_json, rules_fingerprint
+from repro.analysis.cache import content_hash
+
+
+FILES = {
+    "src/repro/sim/engine.py": (
+        "import time\n"
+        "def tick():\n"
+        "    return time.time()\n"),
+    "src/repro/sim/clean.py": "def noop():\n    return 0\n",
+    "src/repro/overlay/driver.py": (
+        "from repro.sim.clean import noop\n"
+        "def go():\n"
+        "    noop()\n"),
+}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    for rel, source in FILES.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def run(tree, **kwargs):
+    cache = tree / "cache.json"
+    return lint_paths([tree / "src"], root=tree, cache_path=cache, **kwargs)
+
+
+def test_cold_run_populates_cache(tree):
+    report = run(tree)
+    assert report.cache_hits == 0
+    assert report.cache_misses == len(FILES)
+    assert not report.project_cached
+    doc = json.loads((tree / "cache.json").read_text())
+    assert sorted(doc["files"]) == sorted(FILES)
+
+
+def test_warm_run_reuses_every_file_and_project_tier(tree):
+    run(tree)
+    warm = run(tree)
+    assert warm.cache_hits == len(FILES)
+    assert warm.cache_misses == 0
+    assert warm.project_cached
+
+
+def test_warm_findings_are_byte_identical(tree):
+    cold = render_json(run(tree).findings)
+    warm = render_json(run(tree).findings)
+    assert cold == warm
+    assert "DET002" in cold  # the fixture really does find something
+
+
+def test_warm_run_does_not_reparse_cached_files(tree, monkeypatch):
+    """The point of the cache: unchanged files are never re-analyzed."""
+    import ast
+
+    run(tree)
+
+    def poisoned(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("warm run re-parsed a cached file")
+
+    monkeypatch.setattr(ast, "parse", poisoned)
+    warm = run(tree)
+    assert warm.cache_hits == len(FILES)
+
+
+def test_editing_one_file_reanalyzes_it_and_the_project_tier(tree):
+    run(tree)
+    target = tree / "src/repro/sim/clean.py"
+    target.write_text("def noop():\n    return 1\n")
+    warm = run(tree)
+    assert warm.cache_misses == 1
+    assert warm.cache_hits == len(FILES) - 1
+    assert not warm.project_cached  # file-hash set changed -> project rerun
+
+
+def test_new_finding_in_edited_file_surfaces(tree):
+    run(tree)
+    target = tree / "src/repro/sim/clean.py"
+    target.write_text("import time\ndef noop():\n    return time.time()\n")
+    warm = run(tree)
+    assert sum(1 for f in warm.findings if f.code == "DET002") == 2
+
+
+def test_deleted_file_is_pruned_from_cache(tree):
+    run(tree)
+    (tree / "src/repro/overlay/driver.py").unlink()
+    run(tree)
+    doc = json.loads((tree / "cache.json").read_text())
+    assert "src/repro/overlay/driver.py" not in doc["files"]
+
+
+def test_rules_change_invalidates_whole_cache(tree):
+    run(tree)
+    # simulate editing a rule module: rewrite the fingerprint on disk
+    cache_path = tree / "cache.json"
+    doc = json.loads(cache_path.read_text())
+    doc["rules_fp"] = "0" * 64
+    cache_path.write_text(json.dumps(doc))
+    warm = run(tree)
+    assert warm.cache_hits == 0
+    assert warm.cache_misses == len(FILES)
+
+
+def test_corrupt_cache_is_ignored_not_fatal(tree):
+    run(tree)
+    (tree / "cache.json").write_text("{not json")
+    warm = run(tree)
+    assert warm.cache_misses == len(FILES)
+    assert warm.findings  # still produces results
+
+
+def test_no_cache_path_means_no_cache_file(tree):
+    report = lint_paths([tree / "src"], root=tree)
+    assert report.cache_hits == 0
+    assert not (tree / ".detlint-cache.json").exists()
+
+
+def test_select_filter_is_applied_after_the_cache(tree):
+    """Raw findings are cached select-independent, so narrowing --select
+    on a warm run must not miss cached findings."""
+    run(tree)
+    warm = run(tree, select=["DET002"])
+    assert warm.cache_hits == len(FILES)
+    assert {f.code for f in warm.findings} == {"DET002"}
+
+
+def test_cache_load_rejects_schema_and_fp_mismatch(tmp_path):
+    path = tmp_path / "c.json"
+    fp = rules_fingerprint()
+    path.write_text(json.dumps(
+        {"schema": 99, "rules_fp": fp, "files": {}, "projects": {},
+         "tools": {}}))
+    assert LintCache.load(path, fp).files == {}
+    path.write_text(json.dumps(
+        {"schema": 1, "rules_fp": "stale", "files": {}, "projects": {},
+         "tools": {}}))
+    assert LintCache.load(path, fp).files == {}
+
+
+def test_content_hash_is_stable():
+    assert content_hash(b"x") == content_hash(b"x")
+    assert content_hash(b"x") != content_hash(b"y")

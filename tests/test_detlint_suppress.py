@@ -2,7 +2,7 @@
 
 import repro.analysis.runner  # noqa: F401  (registers the rules)
 from repro.analysis import lint_paths
-from repro.analysis.suppress import parse_suppressions
+from repro.analysis.suppress import Suppressions, parse_suppressions
 
 PATH = "src/repro/sim/fixture.py"
 
@@ -18,7 +18,7 @@ def test_same_line_suppression(tmp_path):
     report = lint_source(
         tmp_path,
         "import time\n"
-        "t = time.time()  # detlint: disable=DET002 -- boot banner only\n",
+        "t = time.time()  # detlint: disable=DET002 -- DET002: boot banner\n",
     )
     assert report.findings == []
     assert report.suppressed == 1
@@ -28,7 +28,7 @@ def test_next_line_suppression(tmp_path):
     report = lint_source(
         tmp_path,
         "import time\n"
-        "# detlint: disable-next-line=DET002 -- boot banner only\n"
+        "# detlint: disable-next-line=DET002 -- DET002: boot banner only\n"
         "t = time.time()\n",
     )
     assert report.findings == []
@@ -38,7 +38,7 @@ def test_next_line_suppression(tmp_path):
 def test_file_level_suppression(tmp_path):
     report = lint_source(
         tmp_path,
-        "# detlint: disable-file=DET002 -- this shim brokers real time\n"
+        "# detlint: disable-file=DET002 -- DET002: shim brokers real time\n"
         "import time\n"
         "a = time.time()\n"
         "b = time.monotonic()\n",
@@ -51,7 +51,8 @@ def test_multiple_codes_one_directive(tmp_path):
     report = lint_source(
         tmp_path,
         "import time, os\n"
-        "# detlint: disable-next-line=DET002,DET005 -- probe helper\n"
+        "# detlint: disable-next-line=DET002,DET005 -- DET002+DET005: "
+        "probe helper\n"
         "x = (time.time(), os.getenv('X'))\n",
     )
     assert report.findings == []
@@ -68,6 +69,35 @@ def test_suppression_without_justification_is_a_finding(tmp_path):
     # the DET002 finding survives AND the bare directive is flagged
     assert codes == ["DET002", "LINT000"]
     assert any("justification" in f.message for f in report.findings)
+
+
+def test_justification_must_name_the_suppressed_code(tmp_path):
+    """A why-text that does not mention the code is not a justification."""
+    report = lint_source(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # detlint: disable=DET002 -- boot banner only\n",
+    )
+    codes = sorted(f.code for f in report.findings)
+    assert codes == ["DET002", "LINT000"]
+    assert any("must name the rule code" in f.message
+               for f in report.findings)
+
+
+def test_justification_must_name_every_code(tmp_path):
+    """Naming one code of a multi-code directive is not enough."""
+    report = lint_source(
+        tmp_path,
+        "import time, os\n"
+        "# detlint: disable-next-line=DET002,DET005 -- DET002: probe\n"
+        "x = (time.time(), os.getenv('X'))\n",
+    )
+    lint000 = [f for f in report.findings if f.code == "LINT000"]
+    assert len(lint000) == 1
+    assert "DET005" in lint000[0].message
+    # and neither code is suppressed by the invalid directive
+    assert sorted(f.code for f in report.findings
+                  if f.code != "LINT000") == ["DET002", "DET005"]
 
 
 def test_invalid_code_is_a_finding(tmp_path):
@@ -90,7 +120,7 @@ def test_suppressing_a_different_code_does_not_hide_finding(tmp_path):
     report = lint_source(
         tmp_path,
         "import time\n"
-        "t = time.time()  # detlint: disable=DET001 -- wrong code\n",
+        "t = time.time()  # detlint: disable=DET001 -- DET001: wrong code\n",
     )
     assert [f.code for f in report.findings] == ["DET002"]
 
@@ -98,7 +128,7 @@ def test_suppressing_a_different_code_does_not_hide_finding(tmp_path):
 def test_unused_suppression_is_noted(tmp_path):
     report = lint_source(
         tmp_path,
-        "x = 1  # detlint: disable=DET002 -- nothing here triggers it\n",
+        "x = 1  # detlint: disable=DET002 -- DET002: nothing triggers it\n",
     )
     assert report.findings == []
     assert len(report.notes) == 1
@@ -125,13 +155,30 @@ def test_plain_detlint_mention_in_comment_is_not_a_directive():
 
 def test_parse_forms_directly():
     source = (
-        "# detlint: disable-file=SIM001 -- io shim\n"
-        "x = 1  # detlint: disable=DET001, DET004 -- fixture data\n"
-        "# detlint: disable-next-line=DET002 -- banner\n"
+        "# detlint: disable-file=SIM001 -- SIM001: io shim\n"
+        "x = 1  # detlint: disable=DET001, DET004 -- DET001/DET004: fixture\n"
+        "# detlint: disable-next-line=DET002 -- DET002: banner\n"
         "y = 2\n"
     )
     sup = parse_suppressions(PATH, source)
-    assert sup.file_level == {"SIM001": "io shim"}
-    assert sup.by_line[2] == {"DET001": "fixture data", "DET004": "fixture data"}
-    assert sup.by_line[4] == {"DET002": "banner"}
+    assert sup.file_level == {"SIM001": "SIM001: io shim"}
+    assert sup.by_line[2] == {"DET001": "DET001/DET004: fixture",
+                              "DET004": "DET001/DET004: fixture"}
+    assert sup.by_line[4] == {"DET002": "DET002: banner"}
     assert sup.problems == []
+
+
+def test_suppressions_round_trip_through_cache_dict():
+    """to_dict/from_dict preserve matching behavior (cache contract)."""
+    source = (
+        "# detlint: disable-file=SIM001 -- SIM001: io shim\n"
+        "t = 1  # detlint: disable=DET002 -- DET002: banner\n"
+        "# detlint: disable=BAD\n"
+    )
+    original = parse_suppressions(PATH, source)
+    restored = Suppressions.from_dict(PATH, original.to_dict())
+    assert restored.file_level == original.file_level
+    assert restored.by_line == original.by_line
+    assert [p.message for p in restored.problems] == \
+        [p.message for p in original.problems]
+    assert restored.used == set()  # run state starts fresh

@@ -201,3 +201,30 @@ def test_registry_ids_are_unique_and_stable():
     assert wire._TYPE_TO_ID[m.JoinRequest] == 1
     assert wire._TYPE_TO_ID[m.Lookup] == 18
     assert wire._TYPE_TO_ID[m.Ack] == 19
+
+
+def test_committed_wire_baseline_matches_registry():
+    """The committed detlint wire baseline is the drift tripwire: any
+    renumbering or removal in ``wire._REGISTRY`` must show up here (and
+    as a WIRE002 finding) before it ships."""
+    import json
+    from pathlib import Path
+
+    baseline_path = Path(__file__).resolve().parent.parent / \
+        ".detlint-wire-baseline.json"
+    assert baseline_path.exists(), \
+        "commit .detlint-wire-baseline.json (repro lint --write-wire-baseline)"
+    doc = json.loads(baseline_path.read_text())
+    assert doc["schema"] == 1
+    baseline = {int(tid): name for tid, name in doc["entries"].items()}
+    live = {tid: f"{cls.__module__}.{cls.__qualname__}"
+            for tid, cls, _ in wire._REGISTRY}
+    # append-only: every baselined id must still exist with the same class
+    for tid, name in baseline.items():
+        assert tid in live, f"wire id {tid} ({name}) was removed"
+        assert live[tid] == name, \
+            f"wire id {tid} reassigned: {name} -> {live[tid]}"
+    # and brand-new ids must extend the id space, not recycle gaps
+    for tid in set(live) - set(baseline):
+        assert tid > max(baseline), \
+            f"new wire id {tid} reuses retired id space"
