@@ -1,4 +1,4 @@
-"""Performance rules (HOT001/HOT002): keep the simulation hot path allocation-lean.
+"""Performance rules (HOT001-HOT003): keep the simulation hot path allocation-lean.
 
 The hot-path refactor (see DESIGN.md §10) removed per-event closure and
 lambda construction from the functions that execute once per simulated
@@ -22,13 +22,21 @@ from repro.analysis.core import FileContext, Finding, Rule, register
 #: file fragment -> function/method names on the per-event hot path.
 HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
     "repro/sim/engine.py": frozenset(
-        {"run", "schedule", "schedule_at", "schedule_call"}
+        {"run", "schedule", "schedule_at", "schedule_call",
+         "schedule_calls", "schedule_calls_at", "_promote", "_compact"}
     ),
-    "repro/network/transport.py": frozenset({"send", "_deliver", "_lose"}),
-    "repro/network/base.py": frozenset({"delay", "router_delay"}),
+    "repro/network/transport.py": frozenset(
+        {"send", "send_many", "_deliver", "_lose"}
+    ),
+    "repro/network/base.py": frozenset(
+        {"delay", "router_delay", "delays_to", "delays_from"}
+    ),
     "repro/pastry/node.py": frozenset(
-        {"_on_message", "_next_hop", "_route", "_forward"}
+        {"_on_message", "_next_hop", "_route", "_forward",
+         "_handle_ls_info", "consider_for_routing_table"}
     ),
+    "repro/pastry/leafset.py": frozenset({"add", "_prune", "members"}),
+    "repro/pastry/routingtable.py": frozenset({"add"}),
     "repro/metrics/collector.py": frozenset({"on_send", "on_loss"}),
     "repro/pastry/messages.py": frozenset({"wire_size"}),
     "repro/adversary/behaviors.py": frozenset(
@@ -176,3 +184,58 @@ class SlotsOnHotClasses(Rule):
             if ctx.in_package(fragment):
                 names |= classes
         return frozenset(names)
+
+
+@register
+class NoNumpyScalarBoxingOnHotPath(Rule):
+    """HOT003: no per-event numpy scalar boxing in hot-path functions."""
+
+    code = "HOT003"
+    name = "no-hot-path-numpy-boxing"
+    severity = "warning"
+    description = (
+        "Indexing a float64 array one element at a time allocates a boxed "
+        "numpy scalar per read, and `.item()`/`float(arr[i])` adds a "
+        "second conversion on top — per simulated event that is slower "
+        "than a dict or list lookup (the array-oriented core converts "
+        "rows in bulk with .tolist() instead; see DESIGN.md §15).  The "
+        "check is syntactic: any `.item()` call, or `float()` over a "
+        "subscript, inside a registered hot-path function.  If the "
+        "subscripted object is genuinely not an array, indexing a plain "
+        "list needs no float() wrapper — removing it also clears the "
+        "finding."
+    )
+    packages = tuple(HOT_FUNCTIONS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        hot_names = set()
+        for fragment, funcs in HOT_FUNCTIONS.items():
+            if ctx.in_package(fragment):
+                hot_names |= funcs
+        if not hot_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in hot_names:
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                func = inner.func
+                if (isinstance(func, ast.Attribute) and func.attr == "item"
+                        and not inner.args and not inner.keywords):
+                    yield self.finding(
+                        ctx, inner,
+                        f".item() inside hot-path function {node.name}(): "
+                        f"per-event numpy scalar unboxing — convert the "
+                        f"row in bulk (.tolist()) outside the loop")
+                elif (isinstance(func, ast.Name) and func.id == "float"
+                        and len(inner.args) == 1
+                        and isinstance(inner.args[0], ast.Subscript)):
+                    yield self.finding(
+                        ctx, inner,
+                        f"float(...[...]) inside hot-path function "
+                        f"{node.name}(): boxes a numpy scalar and converts "
+                        f"it per event — keep a python-list mirror of the "
+                        f"row and index that instead")

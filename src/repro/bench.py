@@ -194,6 +194,71 @@ def _scenario_corporate_slice(quick: bool) -> Tuple[int, str]:
     return runner.sim.events_executed, fingerprint
 
 
+def _scenario_mercator_100k(quick: bool) -> Tuple[int, str]:
+    """Gnutella churn slice on the full-size Mercator router map.
+
+    Full mode builds the hierarchical AS topology at the paper's published
+    scale — 2,662 autonomous systems averaging ~39 routers each, ~102k
+    routers total (§5.1) — so the delay path exercises AS-path
+    reconstruction, gateway traversal and the hop-count cache at realistic
+    map size instead of the toy maps the other scenarios use.  Quick mode
+    shrinks the map to CI size.  The map alone is ~150 MB of distance
+    matrices, which is why this scenario opts out of the tracemalloc run
+    (``trace_memory=False``): instrumented allocation tracking at this
+    size multiplies wall clock without changing the determinism check.
+    """
+    from repro.network.hierarchical_as import HierarchicalASTopology
+    from repro.overlay.runner import OverlayRunner
+    from repro.pastry.config import PastryConfig
+    from repro.sim.rng import RngStreams
+    from repro.traces.realworld import GNUTELLA, generate_real_world_trace
+
+    streams = RngStreams(171)
+    rng = streams.stream("topology")
+    if quick:
+        topology = HierarchicalASTopology(rng, n_as=160, routers_per_as=16)
+        scale, duration = 0.05, 120.0
+    else:
+        topology = HierarchicalASTopology(rng, n_as=2662, routers_per_as=39)
+        scale, duration = 0.1, 300.0
+    runner = OverlayRunner(
+        PastryConfig(), topology, streams, stats_window=300.0
+    )
+    trace = generate_real_world_trace(
+        streams.stream("trace"), GNUTELLA, scale=scale, duration=duration
+    )
+    result = runner.run(trace)
+    fingerprint = (
+        f"{runner.sim.events_executed}:{runner.network.messages_sent}:"
+        f"{runner.network.messages_delivered}:{result.stats.n_lookups}:"
+        f"{result.final_active}:{topology.n_routers}"
+    )
+    return runner.sim.events_executed, fingerprint
+
+
+def _scenario_full_gnutella(quick: bool) -> Tuple[int, str]:
+    """The fig4 Gnutella workload at full population (opt-in).
+
+    ``scale=1.0`` reproduces the trace's published average active
+    population of ~2,000 nodes — ``overlay_churn`` is the same setup at
+    half that.  Minutes per run, so it is excluded from the default suite;
+    select it explicitly with ``--scenario full_gnutella`` when a change
+    claims wins that should survive full scale.
+    """
+    from repro.experiments.scenarios import Scenario
+
+    scenario = Scenario(seed=93, topology="gatech", topology_scale=0.1)
+    duration = 600.0 if quick else 3600.0
+    runner = scenario.build_runner()
+    result = runner.run(scenario.gnutella_trace(1.0, duration))
+    fingerprint = (
+        f"{runner.sim.events_executed}:{runner.network.messages_sent}:"
+        f"{runner.network.messages_delivered}:{result.stats.n_lookups}:"
+        f"{result.final_active}"
+    )
+    return runner.sim.events_executed, fingerprint
+
+
 def _scenario_topology_delay(quick: bool) -> Tuple[int, str]:
     """Raw delay lookups over the GATech transit-stub router graph."""
     import random
@@ -224,6 +289,13 @@ class BenchScenario:
     #: (e.g. a new counter joins the string); fingerprints are only ever
     #: compared between identical versions — see run_bench.
     fingerprint_version: int = 1
+    #: False skips tracemalloc on the second (determinism-check) run; the
+    #: memory columns record null.  For scenarios whose working set is so
+    #: large that instrumented allocation tracking multiplies wall clock.
+    trace_memory: bool = True
+    #: opt-in scenarios are excluded from the default suite and run only
+    #: when named explicitly via ``--scenario``.
+    opt_in: bool = False
 
 
 SCENARIOS: Tuple[BenchScenario, ...] = (
@@ -249,6 +321,14 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "topology_delay", "transit-stub delay lookups (cold + cached rows)",
         "queries", _scenario_topology_delay),
+    BenchScenario(
+        "mercator_100k",
+        "Gnutella slice on the full 102k-router Mercator map",
+        "events", _scenario_mercator_100k, trace_memory=False),
+    BenchScenario(
+        "full_gnutella",
+        "fig4 Gnutella workload at full 2k-node population (opt-in)",
+        "events", _scenario_full_gnutella, trace_memory=False, opt_in=True),
 )
 
 
@@ -273,17 +353,27 @@ def run_scenario(scenario: BenchScenario, quick: bool) -> Dict[str, object]:
     Two runs.  The first is uninstrumented and supplies the timing; the
     second runs under tracemalloc (2-5x slower, so it is excluded from the
     timing) and supplies the memory columns.  Both must produce the same
-    fingerprint — the same-seed determinism self-check.
+    fingerprint — the same-seed determinism self-check.  A scenario with
+    ``trace_memory=False`` still runs twice (the determinism check is
+    non-negotiable) but the second run is uninstrumented too and the
+    memory columns record null.
     """
     started = time.perf_counter()
     work_a, fp_a = scenario.fn(quick)
     elapsed = time.perf_counter() - started
 
-    tracemalloc.start()
-    tracemalloc.reset_peak()
-    work_b, fp_b = scenario.fn(quick)
-    current, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+    if scenario.trace_memory:
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        work_b, fp_b = scenario.fn(quick)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_kb: Optional[float] = round(peak / 1024.0, 1)
+        current_kb: Optional[float] = round(current / 1024.0, 1)
+    else:
+        work_b, fp_b = scenario.fn(quick)
+        peak_kb = None
+        current_kb = None
 
     if fp_a != fp_b or work_a != work_b:
         raise BenchError(
@@ -298,8 +388,8 @@ def run_scenario(scenario: BenchScenario, quick: bool) -> Dict[str, object]:
         "rate_per_s": round(work_a / elapsed, 1) if elapsed > 0 else 0.0,
         "fingerprint": fp_a,
         "fingerprint_version": scenario.fingerprint_version,
-        "tracemalloc_peak_kb": round(peak / 1024.0, 1),
-        "tracemalloc_current_kb": round(current / 1024.0, 1),
+        "tracemalloc_peak_kb": peak_kb,
+        "tracemalloc_current_kb": current_kb,
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -368,7 +458,10 @@ def _speedups(results: Dict[str, Dict], baseline: Optional[Dict]) -> Dict[str, f
 
 
 def _fingerprint_status(
-    results: Dict[str, Dict], baseline: Optional[Dict]
+    results: Dict[str, Dict],
+    baseline: Optional[Dict],
+    history: Sequence[Dict] = (),
+    mode: Optional[str] = None,
 ) -> Dict[str, str]:
     """Compare each scenario's fingerprint against the baseline's.
 
@@ -378,24 +471,49 @@ def _fingerprint_status(
     baseline literally ends ``:None`` where current runs record a
     live-event count, so a plain string comparison would report a
     behaviour change that never happened (or, worse, mask one).
+
+    A refused (or absent) baseline is no longer a dead end, though: the
+    most recent *history* entry of the same mode that recorded this
+    scenario under the same fingerprint format is consulted instead, so a
+    format bump keeps behaviour-change detection alive from the very next
+    run instead of reporting "not compared" until someone rebaselines.
     """
     statuses: Dict[str, str] = {}
     base_results = (baseline or {}).get("results", {})
     for name, entry in results.items():
+        version = entry["fingerprint_version"]
         base = base_results.get(name)
-        if not base or "fingerprint" not in base:
-            statuses[name] = "no-baseline"
-            continue
-        base_version = base.get("fingerprint_version", 0)
-        if base_version != entry["fingerprint_version"]:
+        if (
+            base
+            and "fingerprint" in base
+            and base.get("fingerprint_version", 0) == version
+        ):
             statuses[name] = (
-                f"format-change v{base_version}->"
-                f"v{entry['fingerprint_version']}: not compared"
+                "match" if base["fingerprint"] == entry["fingerprint"]
+                else "CHANGED"
             )
-        elif base["fingerprint"] == entry["fingerprint"]:
-            statuses[name] = "match"
+            continue
+        past_fp = None
+        for past in reversed(list(history)):
+            if mode is not None and past.get("mode") != mode:
+                continue
+            if past.get("fingerprint_versions", {}).get(name) != version:
+                continue
+            past_fp = past.get("fingerprints", {}).get(name)
+            if past_fp is not None:
+                break
+        if past_fp is not None:
+            statuses[name] = (
+                "match (vs history)" if past_fp == entry["fingerprint"]
+                else "CHANGED (vs history)"
+            )
+        elif not base or "fingerprint" not in base:
+            statuses[name] = "no-baseline"
         else:
-            statuses[name] = "CHANGED"
+            statuses[name] = (
+                f"format-change v{base.get('fingerprint_version', 0)}->"
+                f"v{version}: not compared"
+            )
     return statuses
 
 
@@ -411,7 +529,8 @@ def run_bench(
     Returns ``(report_dict, human_readable_text)``.  Raises
     :class:`BenchError` on determinism or schema failures.
     """
-    selected = list(SCENARIOS)
+    # Opt-in scenarios (minutes-per-run workloads) join only when named.
+    selected = [s for s in SCENARIOS if not s.opt_in]
     if scenarios:
         known = {s.name for s in SCENARIOS}
         unknown = sorted(set(scenarios) - known)
@@ -434,15 +553,25 @@ def run_bench(
     # of the same mode: quick and full runs use different workload sizes.
     comparable = baseline if baseline.get("mode") == mode else None
     speedups = _speedups(results, comparable)
-    fingerprints = _fingerprint_status(results, comparable)
-
     history = list(existing.get("history", [])) if existing else []
+    # Fingerprint comparison sees only *prior* runs (the current entry is
+    # appended below) — comparing a run against itself would always match.
+    fingerprints = _fingerprint_status(results, comparable, history, mode)
     history.append({
         "label": label or mode,
         "mode": mode,
         "rates": {name: entry["rate_per_s"] for name, entry in results.items()},
         "tracemalloc_peak_kb": {
             name: entry["tracemalloc_peak_kb"] for name, entry in results.items()
+        },
+        # Recorded so the next run can fall back to history when the
+        # pinned baseline predates a fingerprint format bump.
+        "fingerprints": {
+            name: entry["fingerprint"] for name, entry in results.items()
+        },
+        "fingerprint_versions": {
+            name: entry["fingerprint_version"]
+            for name, entry in results.items()
         },
     })
 
@@ -479,11 +608,14 @@ def render_report(report: Dict) -> str:
         status = fingerprints.get(name, "-")
         fp_text = {
             "match": "ok", "no-baseline": "-", "CHANGED": "CHANGED",
+            "match (vs history)": "ok*", "CHANGED (vs history)": "CHANGED",
         }.get(status, "format")
+        peak_kb = entry["tracemalloc_peak_kb"]
+        peak_text = f"{peak_kb:>10,.0f}" if peak_kb is not None else f"{'-':>10s}"
         lines.append(
             f"{name:16s} {entry['work']:>9d} {entry['wall_s']:>8.3f} "
             f"{entry['rate_per_s']:>12,.0f} "
-            f"{entry['tracemalloc_peak_kb']:>10,.0f} "
+            f"{peak_text} "
             f"{speed_text:>12s} {fp_text:>8s}"
         )
     baseline = report.get("baseline") or {}
@@ -493,6 +625,12 @@ def render_report(report: Dict) -> str:
     for name, status in fingerprints.items():
         if status.startswith("format-change"):
             lines.append(f"note: {name} fingerprint {status}")
+        elif status.endswith("(vs history)"):
+            lines.append(
+                f"note: {name} fingerprint compared against the most "
+                f"recent same-format history entry (baseline predates a "
+                f"format change)"
+            )
     return "\n".join(lines)
 
 

@@ -438,7 +438,9 @@ def main(argv=None) -> int:
                        help="record this run's numbers as the new baseline")
     bench.add_argument("--scenario", action="append", dest="scenarios",
                        metavar="NAME",
-                       help="only run the given scenario(s) (repeatable)")
+                       help="only run the given scenario(s) (repeatable); "
+                            "also the only way to run opt-in scenarios "
+                            "such as full_gnutella")
 
     profile = sub.add_parser(
         "profile",

@@ -80,6 +80,10 @@ class StatsCollector:
     """Counts sends, lookups and joins; computes the paper's metrics."""
 
     window: float = 600.0
+    #: transport timestamps are shifted by -t0 and pre-t0 events ignored,
+    #: so a collector can be attached to a transport mid-run (measurement
+    #: start) without an adapter in the per-message path.
+    t0: float = 0.0
 
     def __post_init__(self) -> None:
         self.sent_total: Dict[str, int] = defaultdict(int)
@@ -103,6 +107,9 @@ class StatsCollector:
         # Hot path: runs for every message sent while stats are attached.
         # Counter bumps on preallocated defaultdicts only — no closures or
         # temporaries beyond the window-bucket index.
+        now -= self.t0
+        if now < 0.0:
+            return  # warm-up traffic is not measured
         category = msg.category
         self.sent_total[category] += 1
         self.bytes_total[category] += wire_size(msg)
@@ -110,7 +117,8 @@ class StatsCollector:
 
     def on_loss(self, msg, src: int, dst: int, now: float) -> None:
         """An attempted send that the channel (or a fault) dropped."""
-        self.lost_total[msg.category] += 1
+        if now >= self.t0:
+            self.lost_total[msg.category] += 1
 
     def on_lookup_issued(self, msg, now: float) -> None:
         self.lookups[msg.msg_id] = LookupRecord(

@@ -43,6 +43,18 @@ class Topology(ABC):
         """Proximity metric used by PNS (default: round-trip delay)."""
         return 2.0 * self.delay(a, b)
 
+    def delays_to(self, a: int, dsts: List[int]) -> List[float]:
+        """One-way delays from ``a`` to each attachment in ``dsts``.
+
+        Entry-by-entry equal to ``[self.delay(a, b) for b in dsts]`` —
+        the batched transport path relies on that equivalence for
+        byte-identical traces.  Subclasses backed by array state override
+        this with a vectorised version; the base implementation is the
+        scalar loop itself.
+        """
+        delay = self.delay
+        return [delay(a, b) for b in dsts]
+
 
 class RouterGraphTopology(Topology):
     """Topology backed by a weighted router graph.
@@ -65,6 +77,12 @@ class RouterGraphTopology(Topology):
         self._n_routers = 0
         #: router id -> distance row, FIFO-bounded at max_cached_rows
         self._dist_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        #: python-list mirror of the same rows for the scalar ``delay``
+        #: hot path: list indexing yields an unboxed float, whereas
+        #: ``row[r2]`` on a float64 array allocates a numpy scalar per
+        #: event (the boxing pattern detlint HOT003 flags).  Keys always
+        #: mirror ``_dist_cache`` — filled and evicted together.
+        self._dist_list_cache: "OrderedDict[int, List[float]]" = OrderedDict()
         self._max_cached_rows = max_cached_rows
         # attachment id -> router id: python list for scalar lookups plus a
         # numpy mirror (grown amortised-doubling) for vectorised access.
@@ -132,14 +150,22 @@ class RouterGraphTopology(Topology):
                 # FIFO eviction: deterministic (insertion-ordered) and
                 # cheap; router access patterns are stable enough that
                 # recency tracking buys nothing measurable.
-                cache.popitem(last=False)
+                evicted, _row = cache.popitem(last=False)
+                del self._dist_list_cache[evicted]
             cache[router] = cached
+            # tolist() preserves the exact float64 values, so the scalar
+            # and vectorised paths stay bit-identical.
+            self._dist_list_cache[router] = cached.tolist()
         return cached
 
     def router_delay(self, r1: int, r2: int) -> float:
         if r1 == r2:
             return 0.0
-        return float(self._router_distances(r1)[r2])
+        row = self._dist_list_cache.get(r1)
+        if row is None:
+            self._router_distances(r1)
+            row = self._dist_list_cache[r1]
+        return row[r2]
 
     def delay(self, a: int, b: int) -> float:
         if a == b:
@@ -150,10 +176,37 @@ class RouterGraphTopology(Topology):
         # Two end nodes on the same router LAN still cross the LAN twice.
         if r1 == r2:
             return self._lan_round
+        row = self._dist_list_cache.get(r1)
+        if row is None:
+            self._router_distances(r1)
+            row = self._dist_list_cache[r1]
+        return row[r2] + self._lan_round
+
+    def delays_to(self, a: int, dsts: List[int]) -> List[float]:
+        """Vectorised :meth:`Topology.delays_to` over the numpy router index.
+
+        Produces bit-identical values to the scalar loop: the source row
+        is the same cached float64 Dijkstra row, and adding the LAN
+        round-trip is the same IEEE-754 operation whether performed on a
+        numpy scalar or an unboxed python float.  Results come back as a
+        plain list of python floats (one bulk ``tolist`` — the batched
+        delivery path stays free of per-message numpy scalar boxing).
+        """
+        n = len(dsts)
+        if n < 8:
+            # Array setup costs more than it saves on tiny bursts.
+            delay = self.delay
+            return [delay(a, b) for b in dsts]
+        idx = np.asarray(dsts, dtype=np.int64)
+        routers = self._router_index[idx]
+        r1 = self._attach_router[a]
         row = self._dist_cache.get(r1)
         if row is None:
             row = self._router_distances(r1)
-        return float(row[r2]) + self._lan_round
+        delays = row[routers] + self._lan_round
+        delays[routers == r1] = self._lan_round
+        delays[idx == a] = 0.0
+        return delays.tolist()
 
     def delays_from(self, a: int) -> np.ndarray:
         """One-way delays from attachment ``a`` to every attachment.

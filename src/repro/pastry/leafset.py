@@ -38,6 +38,8 @@ class LeafSet:
         "_ring",
         "_left",
         "_right",
+        "_canonical",
+        "_members_list",
     )
 
     def __init__(self, owner: NodeDescriptor, size: int) -> None:
@@ -55,6 +57,11 @@ class LeafSet:
         self._ring: List[NodeDescriptor] = []
         self._left: Optional[List[NodeDescriptor]] = None
         self._right: Optional[List[NodeDescriptor]] = None
+        # True while _members is known to be in the canonical order a
+        # _prune rebuild would produce for the current membership; lets
+        # add() skip insert-then-prune-straight-out round trips.
+        self._canonical = False
+        self._members_list: Optional[List[NodeDescriptor]] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -66,12 +73,26 @@ class LeafSet:
         previous = self._members.get(desc.id)
         if previous is not None and previous.addr == desc.addr:
             return True  # already a member, nothing changed
-        self._members[desc.id] = desc
         cw = (desc.id - self._owner_id) % ID_SPACE
+        if previous is None and len(self._ring) >= self.size and self._canonical:
+            # A non-member falling strictly inside both full sides would be
+            # inserted mid-ring and pruned straight back out: the ring ends
+            # up exactly as before and the only side effect is the _members
+            # rebuild.  With _members already in the canonical rebuild order
+            # (which depends only on the surviving membership, not on the
+            # rejected candidate) that rebuild is a no-op, so skip the whole
+            # round trip.  Equality with a stored key is impossible:
+            # clockwise distances are unique and desc is not a member.
+            keys = self._ring_keys
+            half = self._half
+            if keys[half - 1] <= cw <= keys[len(keys) - half]:
+                return False
+        self._members[desc.id] = desc
         i = bisect_left(self._ring_keys, cw)
         if previous is None:
             self._ring_keys.insert(i, cw)
             self._ring.insert(i, desc)
+            self._canonical = False
         else:
             self._ring[i] = desc  # same id, same distance: address update
         self._invalidate()
@@ -89,6 +110,7 @@ class LeafSet:
         del self._ring_keys[i]
         del self._ring[i]
         self.version += 1
+        self._canonical = False
         self._invalidate()
         return True
 
@@ -100,18 +122,31 @@ class LeafSet:
         the historical set-iteration insertion order (protocol-visible via
         ``members()``).
         """
-        if len(self._ring) <= self.size:
+        ring = self._ring
+        if len(ring) <= self.size:
             return  # both sides cover every member
-        keep = {d.id for d in self.left_side} | {d.id for d in self.right_side}
-        self._members = {i: self._members[i] for i in keep}
+        # Slice the ring directly instead of going through the side
+        # properties (which would build and cache lists that the
+        # _invalidate below throws away).  The set-build sequence —
+        # reversed ring tail, then ring head, then a non-mutating union —
+        # is kept exactly: keep-set iteration order decides the rebuilt
+        # _members insertion order, which is protocol-visible through
+        # members().
         half = self._half
+        members = self._members
+        keep = {d.id for d in ring[len(ring) - half:][::-1]} | {
+            d.id for d in ring[:half]
+        }
+        self._members = {i: members[i] for i in keep}
         del self._ring_keys[half:-half]
-        del self._ring[half:-half]
+        del ring[half:-half]
+        self._canonical = True
         self._invalidate()
 
     def _invalidate(self) -> None:
         self._left = None
         self._right = None
+        self._members_list = None
 
     # ------------------------------------------------------------------
     # Views
@@ -154,7 +189,16 @@ class LeafSet:
         return right[0] if right else None
 
     def members(self) -> List[NodeDescriptor]:
-        return list(self._members.values())
+        """Members in protocol-visible (historical insertion) order.
+
+        The list is cached until the next membership/address change and
+        shared between callers; nothing in the codebase mutates it (callers
+        iterate or concatenate), which keeps the cache sound.
+        """
+        mem = self._members_list
+        if mem is None:
+            mem = self._members_list = list(self._members.values())
+        return mem
 
     def get(self, node_id: int) -> Optional[NodeDescriptor]:
         return self._members.get(node_id)

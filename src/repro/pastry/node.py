@@ -36,6 +36,7 @@ from repro.pastry.config import PastryConfig
 from repro.pastry.discovery import SeedDiscovery
 from repro.pastry.leafset import LeafSet
 from repro.pastry.nodeid import (
+    ID_SPACE,
     NodeDescriptor,
     digit,
     intern_descriptor,
@@ -54,6 +55,15 @@ MAX_JOIN_ATTEMPTS = 5
 REPAIR_PROBE_DELAY = 0.5
 MAX_BUFFERED = 128
 MAX_FAILED_REMEMBERED = 128
+
+#: outgoing message types that carry the self-tuning period hint.  Exact
+#: classes suffice: these are always instantiated directly by this module's
+#: own send sites (the shipped message types are flat — see the dispatch
+#: table note), so the frozenset test replaces a 5-way isinstance walk on
+#: every send.
+_TUNING_HINT_TYPES = frozenset(
+    (m.LsProbe, m.LsProbeReply, m.Heartbeat, m.RtProbe, m.RtProbeReply)
+)
 
 
 @dataclass(slots=True)
@@ -87,6 +97,10 @@ class MSPastryNode:
         self.rng = rng
         self.addr = network.attach()
         self.descriptor = intern_descriptor(node_id, self.addr)
+        #: plain attribute (== descriptor.id, never reassigned): the id is
+        #: read millions of times per run and a property indirection was a
+        #: measurable slice of the message hot path.
+        self.id = node_id
         self.on_active = on_active
         self.on_deliver = on_deliver
         self.on_drop = on_drop
@@ -125,6 +139,7 @@ class MSPastryNode:
         # touches no RNG and schedules no events, so the event stream and
         # every protocol decision are byte-identical.
         probe_cycle = (config.max_probe_retries + 1) * config.probe_timeout
+        self._probe_cycle = probe_cycle
         self._heard_horizon = max(
             config.state_sweep_period,  # _rt_scan suppression (<= this)
             config.heartbeat_period + config.probe_timeout,  # _monitor_tick
@@ -144,6 +159,16 @@ class MSPastryNode:
         )
         self.tuner = SelfTuner(config)
         self.prox = ProximityManager(self)
+        # Routing-table proximity function, resolved once: config.pns and
+        # the ProximityManager are fixed for the node's lifetime.
+        self._rt_proximity = self.prox.proximity if config.pns else None
+        # _advertised_failed memo: valid while the failure maps are unmutated
+        # (version check) and no advertised entry has aged past the memory
+        # horizon (expiry check).
+        self._failed_version = 0
+        self._adv_failed_cache: List[NodeDescriptor] = []
+        self._adv_failed_version = -1
+        self._adv_failed_expiry = 0.0
         self.acks = HopAckManager(
             sim,
             self.rto_table,
@@ -182,10 +207,6 @@ class MSPastryNode:
     # ------------------------------------------------------------------
     # Identity helpers
     # ------------------------------------------------------------------
-    @property
-    def id(self) -> int:
-        return self.descriptor.id
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else ("active" if self.active else "joining")
         return f"MSPastryNode({self.id:08x}.., {state})"
@@ -205,9 +226,7 @@ class MSPastryNode:
     # ------------------------------------------------------------------
     def send(self, dest: NodeDescriptor, msg: m.Message) -> None:
         msg.sender = self.descriptor
-        if self.config.self_tuning and isinstance(
-            msg, (m.LsProbe, m.LsProbeReply, m.Heartbeat, m.RtProbe, m.RtProbeReply)
-        ):
+        if self.config.self_tuning and msg.__class__ in _TUNING_HINT_TYPES:
             msg.tuning_hint = self.tuner.local_period
         self.last_sent[dest.id] = self.sim.now
         if len(self.last_sent) >= self._sent_cap:
@@ -215,13 +234,49 @@ class MSPastryNode:
                 self.last_sent, self._sent_horizon)
         self.network.send(self.addr, dest.addr, msg)
 
+    def _send_all(self, dests: List[NodeDescriptor], msgs: List[m.Message]) -> None:
+        """Batched :meth:`send`: ``msgs[i]`` goes to ``dests[i]``.
+
+        Per-message bookkeeping (sender stamp, tuning hint, recency) runs
+        in list order exactly as the equivalent send() loop would, then the
+        whole burst is enqueued through the transport's batch path.  The
+        recency-cap sweep runs once after the burst instead of after every
+        insert — the sweep is protocol-invisible (it only drops entries no
+        reader can distinguish from absent ones, and the map is never
+        iterated for protocol decisions), so moving it does not change any
+        observable behaviour.
+        """
+        descriptor = self.descriptor
+        tuning = self.config.self_tuning
+        local_period = self.tuner.local_period
+        now = self.sim.now
+        last_sent = self.last_sent
+        for dest, msg in zip(dests, msgs):
+            msg.sender = descriptor
+            if tuning and msg.__class__ in _TUNING_HINT_TYPES:
+                msg.tuning_hint = local_period
+            last_sent[dest.id] = now
+        if len(last_sent) >= self._sent_cap:
+            self.last_sent, self._sent_cap = self._pruned_recency(
+                last_sent, self._sent_horizon)
+        self.network.send_many(
+            self.addr, [dest.addr for dest in dests], msgs
+        )
+
     def _pruned_recency(
         self, table: Dict[int, float], horizon: float
     ) -> "tuple[Dict[int, float], int]":
-        """Drop entries no reader can distinguish from absent ones."""
+        """Drop entries no reader can distinguish from absent ones.
+
+        Sweeps in place: deleting dead keys leaves the survivors in the
+        same relative order a filtered rebuild would produce, without
+        copying the (mostly surviving) bulk of the table every sweep.
+        """
         cutoff = self.sim.now - horizon
-        kept = {k: v for k, v in table.items() if v > cutoff}
-        return kept, max(128, 2 * len(kept))
+        dead = [k for k, v in table.items() if v <= cutoff]
+        for k in dead:
+            del table[k]
+        return table, max(128, 2 * len(table))
 
     # ------------------------------------------------------------------
     # Join (paper §2 and Figure 2)
@@ -310,7 +365,7 @@ class MSPastryNode:
             return
         if self._join_timer is not None:
             self._join_timer.cancel()
-        proximity = self.prox.proximity_of if self.config.pns else None
+        proximity = self.prox.proximity if self.config.pns else None
         for entries in msg.rows.values():
             for desc in entries:
                 if desc.id != self.id:
@@ -319,8 +374,7 @@ class MSPastryNode:
             if desc.id != self.id:
                 self.routing_table.add(desc, proximity)
                 self.leaf_set.add(desc)
-        for desc in self.leaf_set.members():
-            self.probe(desc)
+        self._probe_all(self.leaf_set.members())
         if not self.probing:
             # Joined an overlay consisting solely of the (empty-leaf-set)
             # root: probe the root itself so it learns about us.
@@ -336,6 +390,44 @@ class MSPastryNode:
         state = _ProbeState(desc=desc, retries=0, timer=None)
         self.probing[desc.id] = state
         self._send_ls_probe(desc, state)
+
+    def _probe_all(self, descs: List[NodeDescriptor]) -> None:
+        """Batched :meth:`probe` over a burst of candidates.
+
+        Applies the same vetoes per candidate, arms every probe timer, then
+        hands the whole LsProbe burst to the transport in one batch call.
+        Relative event order within each same-timestamp group is unchanged
+        (all timers fire at now + probe_timeout and keep their list order;
+        deliveries keep theirs), and the probe payload is computed once —
+        valid because nothing in the loop mutates the leaf set or the
+        failure maps.
+        """
+        my_id = self.id
+        probing = self.probing
+        failed = self.failed
+        timeout = self.config.probe_timeout
+        schedule = self.sim.schedule
+        probe_timeout = self._probe_timeout
+        targets: List[NodeDescriptor] = []
+        for desc in descs:
+            did = desc.id
+            if did == my_id or did in probing or did in failed:
+                continue
+            state = _ProbeState(desc=desc, retries=0, timer=None)
+            probing[did] = state
+            state.timer = schedule(timeout, probe_timeout, did)
+            targets.append(desc)
+        if not targets:
+            return
+        leaf_set = self.leaf_set.members()
+        advertised = self._advertised_failed()
+        self._send_all(
+            targets,
+            [
+                m.LsProbe(leaf_set=leaf_set, failed=advertised)
+                for _ in targets
+            ],
+        )
 
     def _send_ls_probe(self, desc: NodeDescriptor, state: _ProbeState) -> None:
         state.timer = self.sim.schedule(
@@ -358,12 +450,31 @@ class MSPastryNode:
         re-verify it on each exchange, which under membership flapping
         amplifies into a probe storm.
         """
-        horizon = self.sim.now - self.config.failed_memory
-        return [
-            desc
-            for node_id, desc in self.failed.items()
-            if self.failed_at.get(node_id, -1e18) >= horizon
-        ]
+        now = self.sim.now
+        if (
+            self._adv_failed_version == self._failed_version
+            and now < self._adv_failed_expiry
+        ):
+            # Memo hit: the failure maps have not been touched and no
+            # advertised entry crossed the horizon yet.  A fresh copy is
+            # returned so callers (messages in flight) never alias.
+            return list(self._adv_failed_cache)
+        memory = self.config.failed_memory
+        horizon = now - memory
+        failed_at = self.failed_at
+        advertised = []
+        next_expiry = float("inf")
+        for node_id, desc in self.failed.items():
+            at = failed_at.get(node_id, -1e18)
+            if at >= horizon:
+                advertised.append(desc)
+                expiry = at + memory
+                if expiry < next_expiry:
+                    next_expiry = expiry
+        self._adv_failed_cache = advertised
+        self._adv_failed_version = self._failed_version
+        self._adv_failed_expiry = next_expiry
+        return list(advertised)
 
     def _probe_timeout(self, node_id: int) -> None:
         if self.crashed:
@@ -384,6 +495,7 @@ class MSPastryNode:
         self.leaf_set.remove(desc.id)
         self.routing_table.remove(desc.id)
         self.suspected.discard(desc.id)
+        self._failed_version += 1
         if len(self.failed) >= MAX_FAILED_REMEMBERED:
             # Evict a non-leaf-relevant entry if one exists: a remembered
             # failure that still belongs in the leaf set is the expiry
@@ -427,12 +539,12 @@ class MSPastryNode:
         if was_leaf and self.active:
             # §4.1: announce the failure to the other leaf-set members; their
             # replies double as repair candidates.
-            for member in self.leaf_set.members():
-                self.probe(member)
+            self._probe_all(self.leaf_set.members())
 
     def _forget_failure(self, node_id: int) -> None:
         """The node proved itself alive: drop all failure memory for it."""
-        self.failed.pop(node_id, None)
+        if self.failed.pop(node_id, None) is not None:
+            self._failed_version += 1
         self.failed_at.pop(node_id, None)
         self._failed_backoff.pop(node_id, None)
 
@@ -449,6 +561,8 @@ class MSPastryNode:
             for fid, fdesc in self.failed.items()
             if not self.leaf_set.would_admit(fdesc)
         ]
+        if stale:
+            self._failed_version += 1
         for node_id in stale:
             self.failed.pop(node_id, None)
             self.failed_at.pop(node_id, None)
@@ -473,6 +587,8 @@ class MSPastryNode:
             for node_id, since in self.failed_at.items()
             if now - since >= self._failed_backoff.get(node_id, base)
         ]
+        if expired:
+            self._failed_version += 1
         for node_id in expired:
             desc = self.failed.pop(node_id, None)
             self.failed_at.pop(node_id, None)
@@ -506,8 +622,14 @@ class MSPastryNode:
         now = self.sim.now
         leaf_set = self.leaf_set
         my_id = self.id
-        self._forget_failure(sender.id)
-        self._ls_heard[sender.id] = now
+        sender_id = sender.id
+        if (
+            sender_id in self.failed
+            or sender_id in self.failed_at
+            or sender_id in self._failed_backoff
+        ):
+            self._forget_failure(sender_id)
+        self._ls_heard[sender_id] = now
         if len(self._ls_heard) >= self._ls_heard_cap:
             self._ls_heard, self._ls_heard_cap = self._pruned_recency(
                 self._ls_heard, self._ls_heard_horizon)
@@ -518,16 +640,16 @@ class MSPastryNode:
         # live neighbour), and a claim contradicted by fresher direct
         # evidence — we heard from the node within one probe cycle — is
         # ignored outright.
-        probe_cycle = (
-            self.config.max_probe_retries + 1
-        ) * self.config.probe_timeout
+        probe_cycle = self._probe_cycle
+        members = leaf_set._members
         for desc in msg.failed:
             if desc.id == my_id:
                 continue
-            if desc.id in leaf_set:
+            claimed = members.get(desc.id)
+            if claimed is not None:
                 if self.last_heard.get(desc.id, -1e18) > now - probe_cycle:
                     continue
-                self.probe(leaf_set.get(desc.id))
+                self.probe(claimed)
         # Candidates from the sender's leaf set, probed before inclusion.
         # Suppression: a candidate we exchanged leaf sets with in the last
         # few seconds told us everything a fresh probe would; re-probing it
@@ -546,18 +668,34 @@ class MSPastryNode:
         horizon = now - suppress
         failed = self.failed
         ls_heard = self._ls_heard
-        members = leaf_set._members
-        would_admit = leaf_set.would_admit
+        # Inline leaf_set.would_admit against bounds hoisted out of the
+        # loop: the owner/member vetoes are already covered by the my_id
+        # and membership checks above, and nothing in the loop body mutates
+        # the ring (probe() only arms a timer and sends), so the admission
+        # window is loop-invariant.  Same comparisons as would_admit,
+        # candidate for candidate.
+        ring_keys = leaf_set._ring_keys
+        n = len(ring_keys)
+        half = leaf_set._half
+        bounded = n >= half
+        if bounded:
+            lo = ring_keys[half - 1]
+            hi = ring_keys[n - half]
+        probe = self.probe
         for desc in msg.leaf_set:
             did = desc.id
-            if did == my_id or did in failed:
-                continue
-            if did in members:
+            # Membership first: in a stable ring most offered candidates
+            # are already members, and these vetoes are order-independent
+            # pure filters.
+            if did in members or did == my_id or did in failed:
                 continue
             if suppress and ls_heard.get(did, -1e18) > horizon:
                 continue
-            if would_admit(desc):
-                self.probe(desc)
+            if bounded:
+                cw = (did - my_id) % ID_SPACE
+                if lo <= cw <= hi:
+                    continue
+            probe(desc)
 
     def _on_ls_probe(self, sender: NodeDescriptor, msg: m.LsProbe) -> None:
         self._handle_ls_info(sender, msg)
@@ -723,8 +861,22 @@ class MSPastryNode:
         self._retry_failed()
         if self.config.heartbeat_all_leafset:
             # Ablation baseline: heartbeat every member (cost grows with l).
-            for member in self.leaf_set.members():
-                self._heartbeat_to(member)
+            # Batched: suppression reads last_sent before any send in the
+            # round, which matches the scalar loop because the member ids
+            # are distinct — no send in the round can affect another
+            # member's suppression check.
+            if self.config.probe_suppression:
+                cutoff = self.sim.now - self.config.heartbeat_period
+                last_sent = self.last_sent
+                targets = [
+                    member
+                    for member in self.leaf_set.members()
+                    if last_sent.get(member.id, -1e18) <= cutoff
+                ]
+            else:
+                targets = self.leaf_set.members()
+            if targets:
+                self._send_all(targets, [m.Heartbeat() for _ in targets])
             return
         left = self.leaf_set.left_neighbour
         if left is not None:
@@ -798,15 +950,33 @@ class MSPastryNode:
         # Probe the whole routing state (§3.2): routing-table entries plus
         # leaf-set members.  Heartbeats cover the immediate neighbours every
         # Tls; this much slower sweep catches dead members farther along the
-        # sides that no failure announcement reached.
+        # sides that no failure announcement reached.  The sweep is batched:
+        # vetoes run per candidate (ids are unique, so arming one probe
+        # cannot affect another's veto), every timer is armed, then the
+        # whole RtProbe burst goes out in one transport call.
+        probing = self.probing
+        rt_probing = self._rt_probing
+        failed = self.failed
+        suppression = self.config.probe_suppression
+        last_heard = self.last_heard
+        timeout = self.config.probe_timeout
+        schedule = self.sim.schedule
+        rt_probe_timeout = self._rt_probe_timeout
+        targets: List[NodeDescriptor] = []
         for desc in self.routing_state_members():
-            if desc.id in self.probing or desc.id in self._rt_probing:
+            did = desc.id
+            if did in probing or did in rt_probing:
                 continue
-            if desc.id in self.failed:
+            if did in failed:
                 continue
-            if self.config.probe_suppression and self.last_heard.get(desc.id, -1e18) > horizon:
+            if suppression and last_heard.get(did, -1e18) > horizon:
                 continue
-            self._send_rt_probe(desc)
+            state = _ProbeState(desc=desc, retries=0, timer=None)
+            rt_probing[did] = state
+            state.timer = schedule(timeout, rt_probe_timeout, did)
+            targets.append(desc)
+        if targets:
+            self._send_all(targets, [m.RtProbe() for _ in targets])
         self._schedule_rt_scan(self._rt_period)
 
     def _send_rt_probe(self, desc: NodeDescriptor) -> None:
@@ -1085,8 +1255,7 @@ class MSPastryNode:
     def consider_for_routing_table(self, desc: NodeDescriptor) -> None:
         if desc.id == self.id or desc.id in self.failed:
             return
-        proximity = self.prox.proximity_of if self.config.pns else None
-        self.routing_table.add(desc, proximity)
+        self.routing_table.add(desc, self._rt_proximity)
 
     def _on_slot_request(self, sender: NodeDescriptor, msg: m.SlotRequest) -> None:
         entry = self._find_slot_entry(sender.id, msg.row, msg.col)
@@ -1213,8 +1382,7 @@ class MSPastryNode:
             entry = self._resolve_dispatch(msg.__class__)
         handler, is_contact = entry
         sender = msg.sender
-        if sender is not None and sender.id != self.id:
-            sender_id = sender.id
+        if sender is not None and (sender_id := sender.id) != self.id:
             self.last_heard[sender_id] = self.sim.now
             if len(self.last_heard) >= self._heard_cap:
                 self.last_heard, self._heard_cap = self._pruned_recency(
@@ -1234,14 +1402,14 @@ class MSPastryNode:
             # send qualify (the ``is_contact`` flag in the dispatch table):
             # probing e.g. a seed-discovery walker or a mid-join node would
             # entangle it in the ring prematurely.
-            if (
-                is_contact
-                and self.active
-                and sender_id not in self.leaf_set
-                and sender_id not in self.failed
-                and self.leaf_set.would_admit(sender)
-            ):
-                self.probe(sender)
+            if is_contact and self.active:
+                leaf_set = self.leaf_set
+                if (
+                    sender_id not in leaf_set._members
+                    and sender_id not in self.failed
+                    and leaf_set.would_admit(sender)
+                ):
+                    self.probe(sender)
         if handler is not None:
             # Byzantine overlay: the sender bookkeeping above still ran (a
             # compromised node keeps its own protocol state honest), but the

@@ -14,9 +14,11 @@ tuple-keyed storage.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.pastry.nodeid import ID_BITS, NodeDescriptor, n_rows
+
+_INF = float("inf")
 
 
 class RoutingTable:
@@ -78,37 +80,42 @@ class RoutingTable:
     def add(
         self,
         desc: NodeDescriptor,
-        proximity: Optional[Callable[[NodeDescriptor], float]] = None,
+        proximity: Optional[Mapping[int, float]] = None,
     ) -> bool:
         """Consider ``desc`` for its slot.
 
         Empty slots are always filled.  An occupied slot is replaced only
-        when a ``proximity`` function is supplied and the candidate is
-        strictly closer (proximity neighbour selection).  Returns True when
-        the table changed.
+        when a ``proximity`` map (node id -> measured proximity; missing
+        nodes rank last) is supplied and the candidate is strictly closer
+        (proximity neighbour selection).  Returns True when the table
+        changed.
         """
-        if desc.id == self._owner_id:
-            return False
-        flat = self._flat_for(desc.id)
-        current = self._slots.get(flat)
-        if current is not None and current.id == desc.id:
-            if current.addr != desc.addr:  # rejoined under a new address
+        node_id = desc.id
+        flat = self._slot_of.get(node_id)
+        if flat is not None:  # this id already holds its slot
+            if self._slots[flat].addr != desc.addr:  # rejoined, new address
                 self._slots[flat] = desc
                 return True
             return False
+        if node_id == self._owner_id:
+            return False
+        flat = self._flat_for(node_id)
+        current = self._slots.get(flat)
         if current is None:
             self._install(flat, desc)
             return True
-        if proximity is not None and proximity(desc) < proximity(current):
-            del self._slot_of[current.id]
-            self._install(flat, desc)
-            return True
+        if proximity is not None:
+            get = proximity.get
+            if get(node_id, _INF) < get(current.id, _INF):
+                del self._slot_of[current.id]
+                self._install(flat, desc)
+                return True
         return False
 
     def add_all(
         self,
         descs: Iterable[NodeDescriptor],
-        proximity: Optional[Callable[[NodeDescriptor], float]] = None,
+        proximity: Optional[Mapping[int, float]] = None,
     ) -> int:
         return sum(1 for d in descs if self.add(d, proximity))
 

@@ -86,9 +86,21 @@ def solve_rt_probe_period(
         return lo
     if 1.0 - leaf_term * (1.0 - prob_faulty(hi + detect_slack, mu)) ** exp_h <= target_lr:
         return hi
+    # Inline prob_faulty in the bisection loop (64 evaluations per solve,
+    # thousands of solves per simulated hour).  The guard clauses of
+    # prob_faulty cannot trigger here — mu > 0 (the lo-bound check above
+    # returned otherwise when mu <= 0 gives Lr = 0) and mid + detect_slack
+    # > 0 — and the arithmetic is expression-for-expression the same, so
+    # the solved period stays bit-identical.
+    exp = math.exp
     for _ in range(64):
         mid = 0.5 * (lo + hi)
-        if 1.0 - leaf_term * (1.0 - prob_faulty(mid + detect_slack, mu)) ** exp_h < target_lr:
+        x = (mid + detect_slack) * mu
+        if x < 1e-8:
+            p_rt = x / 2.0
+        else:
+            p_rt = 1.0 - (1.0 - exp(-x)) / x
+        if 1.0 - leaf_term * (1.0 - p_rt) ** exp_h < target_lr:
             lo = mid
         else:
             hi = mid

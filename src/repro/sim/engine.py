@@ -1,11 +1,40 @@
-"""Event-heap discrete-event simulator.
+"""Calendar-queue discrete-event simulator.
 
 Design notes
 ------------
-* Events are ``(time, seq, handle, callback, args)`` tuples on a binary
-  heap.  The monotonically increasing ``seq`` breaks ties deterministically,
-  so two events scheduled for the same instant always fire in scheduling
-  order; comparison never reaches the non-orderable slots.
+* Events are ``(time, seq, handle, callback, args)`` tuples.  The
+  monotonically increasing ``seq`` breaks ties deterministically, so two
+  events scheduled for the same instant always fire in scheduling order;
+  comparison never reaches the non-orderable slots.
+* Storage is a two-tier calendar queue (a coarse hierarchical timer
+  wheel) instead of one binary heap over every outstanding event:
+
+  - the **near heap** holds events already promoted into execution order
+    (everything due in the wheel slot currently draining, plus fresh
+    events that land at or before it);
+  - the **wheel** is a sparse dict of unsorted bucket lists keyed by
+    ``int(time * inv_width)``, covering ``wheel_span`` bucket widths past
+    the slot being drained, with a small int-heap over the occupied
+    bucket indices;
+  - the **far heap** holds everything beyond the wheel window (pre-
+    scheduled trace churn, long timers), drained lazily into the wheel
+    as the window advances.
+
+  Inserting into the wheel is an O(1) list append (amortized: each event
+  additionally pays one linear-time heapify share when its bucket is
+  promoted), so scheduling cost no longer grows with the number of
+  outstanding events — the far heap is touched only by genuinely
+  far-future events, never by per-message traffic.
+
+  Ordering is *exactly* the single-heap order: ``time → bucket index``
+  is monotone, so every event in a lower-indexed bucket precedes every
+  event in a higher-indexed one, equal times always share a bucket, and
+  within a bucket the promotion heapify restores ``(time, seq)`` order.
+  Promotion only happens when the near heap is empty, and events are
+  routed to the near heap on insert only when their bucket index is at
+  or below the index being drained — both directions preserve the
+  global ``(time, seq)`` total order, byte-for-byte.
+
 * Two scheduling flavours share the single seq counter (and therefore a
   single deterministic total order):
 
@@ -14,29 +43,48 @@ Design notes
   - :meth:`Simulator.schedule_call` is the no-handle fast path for
     fire-and-forget events (message deliveries never cancel), skipping the
     handle allocation and consume-time bookkeeping entirely.
+    :meth:`Simulator.schedule_calls` is its batch form: one call schedules
+    a whole send burst (identical seq draws and routing to the
+    equivalent loop of ``schedule_call``).
 
-* Cancellation is *lazy*: cancelled entries stay on the heap and are
-  skipped when popped.  This keeps :meth:`EventHandle.cancel` O(1), which
-  matters because protocol code cancels timers constantly (every ack
-  cancels a retransmission timer).  To stop dead entries from dominating
-  the heap (every acked packet strands one), the simulator tracks the live
-  count and *compacts* the heap in place — dropping cancelled entries and
-  re-heapifying — once the dead fraction passes a threshold.  Compaction
-  preserves the (time, seq) order of every live entry, so it can never
-  reorder or drop live events.
+* Cancellation is *lazy*: cancelled entries stay queued and are skipped
+  when popped — at promotion time for wheel buckets (each bucket is
+  filtered as it is heapified, so dead timers never even reach the near
+  heap) and at pop time for the near heap.  This keeps
+  :meth:`EventHandle.cancel` O(1), which matters because protocol code
+  cancels timers constantly (every ack cancels a retransmission timer).
+  To stop dead entries from dominating memory, the simulator tracks the
+  live count and *compacts* all three tiers in place — dropping
+  cancelled entries and re-heapifying — once the dead fraction passes a
+  threshold.  Compaction preserves the (time, seq) order of every live
+  entry, so it can never reorder or drop live events.
 * The simulator never advances past ``run(until=...)``; events scheduled
   beyond the horizon simply remain queued.
+* :meth:`Simulator.scheduler_stats` exposes occupancy counters and
+  bucket-size / batch-size histograms for the profiler's engine health
+  block; maintaining them costs two integer adds per promotion/batch.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-#: don't bother compacting heaps smaller than this (cheap to carry)
+#: don't bother compacting queues smaller than this (cheap to carry)
 _COMPACT_MIN_DEAD = 512
-#: compact when more than this fraction of heap entries is dead
+#: compact when more than this fraction of queued entries is dead
 _COMPACT_DEAD_FRACTION = 0.5
+
+#: calendar bucket width in simulated seconds.  1/16 s is exactly
+#: representable in binary floating point, so ``time * inv_width`` is an
+#: exact scaling — bucket routing is a pure monotone function of time.
+_BUCKET_WIDTH = 0.0625
+#: wheel window length in buckets (512 simulated seconds at the default
+#: width).  Events beyond ``cur_idx + span`` go to the far heap.
+_WHEEL_SPAN = 8192
+
+#: histogram slots for scheduler_stats (log2 buckets; last slot is 2^18+)
+_HIST_SLOTS = 20
 
 
 class EventHandle:
@@ -58,8 +106,8 @@ class EventHandle:
         if self.cancelled:
             return
         self.cancelled = True
-        # Drop references so cancelled events pinned on the heap do not keep
-        # large object graphs (nodes, messages) alive.
+        # Drop references so cancelled events pinned in the queue do not
+        # keep large object graphs (nodes, messages) alive.
         self.callback = _noop
         self.args = ()
         if self._sim is not None:
@@ -82,7 +130,7 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. negative delays)."""
 
 
-# A heap entry is (time, seq, handle | None, callback | None, args | None):
+# A queue entry is (time, seq, handle | None, callback | None, args | None):
 # handle-carrying entries keep callback/args on the handle (so cancel() can
 # release them); fast-path entries inline them and can never be cancelled.
 _Entry = Tuple[float, int, Optional[EventHandle],
@@ -102,17 +150,38 @@ class Simulator:
     (2.5, ['hello'])
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bucket_width: float = _BUCKET_WIDTH,
+                 wheel_span: int = _WHEEL_SPAN) -> None:
+        if bucket_width <= 0:
+            raise SimulationError(f"bucket_width must be positive: {bucket_width}")
+        if wheel_span < 1:
+            raise SimulationError(f"wheel_span must be >= 1: {wheel_span}")
         self.now: float = 0.0
-        self._heap: List[_Entry] = []
         self._seq: int = 0
-        self._live: int = 0
+        #: lazily-cancelled entries still queued (live = count - dead)
+        self._dead: int = 0
+        #: total queued entries, including lazily-cancelled ones
+        self._count: int = 0
         self._events_executed: int = 0
         self._compactions: int = 0
         self._running = False
+        # Calendar-queue tiers.  All three containers are mutated strictly
+        # in place — run() holds local aliases across promotions.
+        self._near: List[_Entry] = []
+        self._buckets: Dict[int, List[_Entry]] = {}
+        self._bucket_heap: List[int] = []
+        self._far: List[_Entry] = []
+        self._cur_idx: int = -1
+        self._inv_width = 1.0 / bucket_width
+        self._wheel_span = wheel_span
         # Compaction policy knobs (instance attrs so tests can tighten them).
         self._compact_min_dead = _COMPACT_MIN_DEAD
         self._compact_dead_fraction = _COMPACT_DEAD_FRACTION
+        # Observability: promotions, per-promotion bucket occupancy and
+        # per-batch size histograms (log2 buckets), for scheduler_stats().
+        self._promotions: int = 0
+        self._occ_hist: List[int] = [0] * _HIST_SLOTS
+        self._batch_hist: List[int] = [0] * _HIST_SLOTS
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -123,7 +192,25 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.now + delay
+        handle = EventHandle(time, callback, args, self)
+        self._seq += 1
+        self._count += 1
+        entry = (time, self._seq, handle, None, None)
+        idx = int(time * self._inv_width)
+        cur = self._cur_idx
+        if idx <= cur:
+            heapq.heappush(self._near, entry)
+        elif idx <= cur + self._wheel_span:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heapq.heappush(self._bucket_heap, idx)
+            else:
+                bucket.append(entry)
+        else:
+            heapq.heappush(self._far, entry)
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -135,8 +222,21 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args, self)
         self._seq += 1
-        self._live += 1
-        heapq.heappush(self._heap, (time, self._seq, handle, None, None))
+        self._count += 1
+        entry = (time, self._seq, handle, None, None)
+        idx = int(time * self._inv_width)
+        cur = self._cur_idx
+        if idx <= cur:
+            heapq.heappush(self._near, entry)
+        elif idx <= cur + self._wheel_span:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heapq.heappush(self._bucket_heap, idx)
+            else:
+                bucket.append(entry)
+        else:
+            heapq.heappush(self._far, entry)
         return handle
 
     def schedule_call(
@@ -152,37 +252,243 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
+        time = self.now + delay
         self._seq += 1
-        self._live += 1
-        heapq.heappush(
-            self._heap, (self.now + delay, self._seq, None, callback, args)
-        )
+        self._count += 1
+        idx = int(time * self._inv_width)
+        cur = self._cur_idx
+        if idx <= cur:
+            heapq.heappush(self._near, (time, self._seq, None, callback, args))
+        elif idx <= cur + self._wheel_span:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [(time, self._seq, None, callback, args)]
+                heapq.heappush(self._bucket_heap, idx)
+            else:
+                bucket.append((time, self._seq, None, callback, args))
+        else:
+            heapq.heappush(self._far, (time, self._seq, None, callback, args))
+
+    def schedule_calls(
+        self,
+        delays: Sequence[float],
+        callback: Callable[..., None],
+        args_seq: Sequence[Tuple[Any, ...]],
+    ) -> None:
+        """Batch :meth:`schedule_call`: one event per ``(delay, args)`` pair.
+
+        Equivalent — same seq draws, same routing, same errors — to::
+
+            for delay, args in zip(delays, args_seq):
+                self.schedule_call(delay, callback, *args)
+
+        but hoists the per-call bookkeeping out of the loop, so a whole
+        send burst (leaf-set probe round, heartbeat fan-out) enqueues in
+        one scheduler call.
+        """
+        now = self.now
+        inv_width = self._inv_width
+        cur = self._cur_idx
+        far_bound = cur + self._wheel_span
+        near = self._near
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        far = self._far
+        push = heapq.heappush
+        seq = self._seq
+        n = 0
+        for delay, args in zip(delays, args_seq):
+            if delay < 0:
+                # Roll the partial batch's bookkeeping in before raising so
+                # the queue stays consistent with the entries inserted.
+                self._seq = seq
+                self._count += n
+                raise SimulationError(f"negative delay: {delay}")
+            time = now + delay
+            seq += 1
+            n += 1
+            idx = int(time * inv_width)
+            if idx <= cur:
+                push(near, (time, seq, None, callback, args))
+            elif idx <= far_bound:
+                bucket = buckets.get(idx)
+                if bucket is None:
+                    buckets[idx] = [(time, seq, None, callback, args)]
+                    push(bucket_heap, idx)
+                else:
+                    bucket.append((time, seq, None, callback, args))
+            else:
+                push(far, (time, seq, None, callback, args))
+        self._seq = seq
+        self._count += n
+        self._batch_hist[min(n.bit_length(), _HIST_SLOTS - 1)] += 1
+
+    def schedule_calls_at(
+        self,
+        items: Iterable[Tuple[float, Callable[..., None], Tuple[Any, ...]]],
+    ) -> None:
+        """Batch absolute-time fire-and-forget scheduling.
+
+        ``items`` yields ``(time, callback, args)`` triples; equivalent to
+        calling :meth:`schedule_call` with ``time - now`` for each, in
+        order.  Used to enqueue a whole churn trace in one call.
+        """
+        now = self.now
+        inv_width = self._inv_width
+        cur = self._cur_idx
+        far_bound = cur + self._wheel_span
+        near = self._near
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        far = self._far
+        push = heapq.heappush
+        seq = self._seq
+        n = 0
+        for time, callback, args in items:
+            if time < now:
+                self._seq = seq
+                self._count += n
+                raise SimulationError(
+                    f"cannot schedule in the past: {time} < now {now}"
+                )
+            seq += 1
+            n += 1
+            idx = int(time * inv_width)
+            if idx <= cur:
+                push(near, (time, seq, None, callback, args))
+            elif idx <= far_bound:
+                bucket = buckets.get(idx)
+                if bucket is None:
+                    buckets[idx] = [(time, seq, None, callback, args)]
+                    push(bucket_heap, idx)
+                else:
+                    bucket.append((time, seq, None, callback, args))
+            else:
+                push(far, (time, seq, None, callback, args))
+        self._seq = seq
+        self._count += n
+        self._batch_hist[min(n.bit_length(), _HIST_SLOTS - 1)] += 1
+
+    # ------------------------------------------------------------------
+    # Promotion: refill the near heap from the wheel / far tiers
+    # ------------------------------------------------------------------
+    def _promote(self) -> bool:
+        """Advance to the next occupied bucket and heapify it into the near
+        heap; returns False when no events remain anywhere.
+
+        Correctness: called only with the near heap empty.  Every queued
+        event's bucket index exceeds ``_cur_idx`` (insertion routes lower
+        indices to the near heap), the minimum occupied wheel index always
+        precedes every far entry (far entries are strictly beyond the
+        wheel window by invariant), and ``time → index`` is monotone — so
+        draining the minimum-index bucket next reproduces the single-heap
+        (time, seq) order exactly.  Cancelled entries are dropped here,
+        per bucket, while the promotion touches every slot anyway.
+        """
+        bucket_heap = self._bucket_heap
+        far = self._far
+        inv_width = self._inv_width
+        if bucket_heap:
+            # Any occupied wheel bucket precedes every far entry.
+            idx = heapq.heappop(bucket_heap)
+            bucket = self._buckets.pop(idx, None)
+        elif far:
+            idx = int(far[0][0] * inv_width)
+            bucket = None
+        else:
+            return False
+        self._cur_idx = idx
+        self._promotions += 1
+        near = self._near
+        if bucket:
+            self._occ_hist[min(len(bucket).bit_length(), _HIST_SLOTS - 1)] += 1
+            dropped = 0
+            for entry in bucket:
+                handle = entry[2]
+                if handle is None or not handle.cancelled:
+                    near.append(entry)
+                else:
+                    dropped += 1
+            if dropped:
+                self._count -= dropped
+                self._dead -= dropped
+        if far:
+            # The window advanced: drain far entries that now fall inside
+            # it (or inside the bucket being promoted) into place.
+            bound = idx + self._wheel_span
+            buckets = self._buckets
+            pop = heapq.heappop
+            push = heapq.heappush
+            while far and int(far[0][0] * inv_width) <= bound:
+                entry = pop(far)
+                eidx = int(entry[0] * inv_width)
+                if eidx <= idx:
+                    near.append(entry)
+                else:
+                    b = buckets.get(eidx)
+                    if b is None:
+                        buckets[eidx] = [entry]
+                        push(bucket_heap, eidx)
+                    else:
+                        b.append(entry)
+        if near:
+            heapq.heapify(near)
+        return True
+
+    def _next_time(self) -> Optional[float]:
+        """Earliest queued event time (cancelled wheel entries excluded
+        opportunistically; promotes as needed, which preserves order)."""
+        while True:
+            if self._near:
+                return self._near[0][0]
+            if not self._promote():
+                return None
 
     # ------------------------------------------------------------------
     # Lazy-cancellation bookkeeping
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
-        """A live handle on the heap was cancelled; maybe compact."""
-        self._live -= 1
-        dead = len(self._heap) - self._live
+        """A live queued handle was cancelled; maybe compact."""
+        self._dead += 1
+        dead = self._dead
         if (dead >= self._compact_min_dead
-                and dead > self._compact_dead_fraction * len(self._heap)):
+                and dead > self._compact_dead_fraction * self._count):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, *in place*.
+        """Drop cancelled entries from every tier and re-heapify, *in place*.
 
-        In place matters: ``run()`` holds a local reference to the heap
-        list.  Determinism: every surviving entry keeps its (time, seq)
-        key and heapq's pop order is a pure function of the key set, so
-        live events fire exactly as they would have without compaction.
+        In place matters: ``run()`` holds local references to the near
+        heap.  Determinism: every surviving entry keeps its (time, seq)
+        key, bucket routing is a pure function of time, and heap pop
+        order is a pure function of the key set — so live events fire
+        exactly as they would have without compaction.
         """
-        heap = self._heap
-        heap[:] = [
-            entry for entry in heap
+        near = self._near
+        near[:] = [
+            entry for entry in near
             if entry[2] is None or not entry[2].cancelled
         ]
-        heapq.heapify(heap)
+        heapq.heapify(near)
+        buckets = self._buckets
+        for idx in list(buckets):
+            bucket = buckets[idx]
+            bucket[:] = [
+                entry for entry in bucket
+                if entry[2] is None or not entry[2].cancelled
+            ]
+            if not bucket:
+                # The index stays in the bucket heap; promotion tolerates
+                # stale indices (popping them is a no-op).
+                del buckets[idx]
+        far = self._far
+        far[:] = [
+            entry for entry in far
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        heapq.heapify(far)
+        self._count -= self._dead
+        self._dead = 0
         self._compactions += 1
 
     # ------------------------------------------------------------------
@@ -191,7 +497,7 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in time order.
 
-        Stops when the heap is empty, when the next event is later than
+        Stops when no events remain, when the next event is later than
         ``until``, or after ``max_events`` callbacks (a runaway-loop guard
         for tests).
         """
@@ -199,25 +505,29 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
-        heap = self._heap
+        near = self._near
         pop = heapq.heappop
         try:
-            while heap:
-                entry = heap[0]
+            while True:
+                if not near:
+                    if not self._promote():
+                        break
+                    continue
+                entry = near[0]
                 time = entry[0]
                 if until is not None and time > until:
                     break
-                pop(heap)
+                pop(near)
+                self._count -= 1
                 handle = entry[2]
                 if handle is None:
                     # Fast path: fire-and-forget entry, nothing to consume.
-                    self._live -= 1
                     self.now = time
                     entry[3](*entry[4])  # type: ignore[misc]
                 elif handle.cancelled:
+                    self._dead -= 1
                     continue
                 else:
-                    self._live -= 1
                     self.now = time
                     callback, args = handle.callback, handle.args
                     # Mark consumed (handle.active turns False, as timer
@@ -234,27 +544,30 @@ class Simulator:
                     break
         finally:
             self._running = False
-        if until is not None and self.now < until and (
-            not heap or heap[0][0] > until
-        ):
-            # Advance the clock to the horizon so back-to-back run() calls
-            # see contiguous time windows.
-            self.now = until
+        if until is not None and self.now < until:
+            next_time = self._next_time()
+            if next_time is None or next_time > until:
+                # Advance the clock to the horizon so back-to-back run()
+                # calls see contiguous time windows.
+                self.now = until
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Raw heap size, *including* lazily-cancelled entries.
+        """Queued entries, *including* lazily-cancelled ones.
 
         This over-counts the work actually left (every cancelled-but-not-
-        yet-popped timer inflates it); use :attr:`live_events` for
+        yet-dropped timer inflates it); use :attr:`live_events` for
         progress/health reporting.
         """
-        return len(self._heap)
+        return self._count
 
     @property
     def live_events(self) -> int:
         """Queued events that will actually fire (cancelled ones excluded)."""
-        return self._live
+        return self._count - self._dead
 
     @property
     def events_executed(self) -> int:
@@ -262,5 +575,31 @@ class Simulator:
 
     @property
     def heap_compactions(self) -> int:
-        """How many times the heap was compacted (observability/tests)."""
+        """How many times the queue was compacted (observability/tests)."""
         return self._compactions
+
+    def scheduler_stats(self) -> Dict[str, Any]:
+        """Calendar-queue health counters for profiling/diagnostics.
+
+        ``bucket_occupancy_log2[i]`` counts promotions of buckets holding
+        ``2^(i-1) .. 2^i - 1`` entries (slot 0 = empty); the analogous
+        ``batch_size_log2`` counts :meth:`schedule_calls` /
+        :meth:`schedule_calls_at` batches by size.  Trailing zero slots
+        are trimmed.
+        """
+
+        def _trim(hist: List[int]) -> List[int]:
+            end = len(hist)
+            while end > 0 and hist[end - 1] == 0:
+                end -= 1
+            return hist[:end]
+
+        return {
+            "near_len": len(self._near),
+            "wheel_buckets": len(self._buckets),
+            "far_len": len(self._far),
+            "promotions": self._promotions,
+            "compactions": self._compactions,
+            "bucket_occupancy_log2": _trim(self._occ_hist),
+            "batch_size_log2": _trim(self._batch_hist),
+        }

@@ -145,12 +145,18 @@ def test_fingerprint_changed_is_reported_not_fatal(tmp_path):
 
 def test_cross_version_fingerprints_are_refused(tmp_path):
     """A baseline recorded under another fingerprint format is never diffed,
-    even if the strings happen to be equal — the status says so instead."""
+    even if the strings happen to be equal — the status says so instead.
+    (History entries are stripped here to model a file whose runs all
+    predate fingerprint recording; with usable history the comparison
+    falls back to it — see the history-fallback test.)"""
     out = tmp_path / "bench.json"
     report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
                           scenarios=["engine_events"])
     base_entry = report["baseline"]["results"]["engine_events"]
     base_entry["fingerprint_version"] = 0  # e.g. migrated from schema/1
+    for past in report["history"]:
+        past.pop("fingerprints", None)
+        past.pop("fingerprint_versions", None)
     out.write_text(json.dumps(report))
     report2, text = run_bench(quick=True, out=str(out),
                               scenarios=["engine_events"])
@@ -158,6 +164,32 @@ def test_cross_version_fingerprints_are_refused(tmp_path):
     assert status.startswith("format-change")
     assert "not compared" in status
     assert "note: engine_events fingerprint format-change" in text
+
+
+def test_format_change_falls_back_to_history(tmp_path):
+    """When the pinned baseline predates a fingerprint format bump, the
+    comparison falls back to the most recent same-format history entry
+    instead of giving up with "not compared"."""
+    out = tmp_path / "bench.json"
+    report, _ = run_bench(quick=True, out=str(out), rebaseline=True,
+                          scenarios=["engine_events"])
+    report["baseline"]["results"]["engine_events"]["fingerprint_version"] = 0
+    out.write_text(json.dumps(report))
+    report2, text = run_bench(quick=True, out=str(out),
+                              scenarios=["engine_events"])
+    assert (report2["fingerprint_vs_baseline"]["engine_events"]
+            == "match (vs history)")
+    assert "ok*" in text
+    assert "most recent same-format history entry" in text
+    # A genuine behaviour change is still caught through the fallback.
+    for past in report2["history"]:
+        if "fingerprints" in past:
+            past["fingerprints"]["engine_events"] = "0:changed"
+    out.write_text(json.dumps(report2))
+    report3, _ = run_bench(quick=True, out=str(out),
+                           scenarios=["engine_events"])
+    assert (report3["fingerprint_vs_baseline"]["engine_events"]
+            == "CHANGED (vs history)")
 
 
 def test_v1_file_is_migrated_not_diffed(tmp_path):
@@ -174,6 +206,9 @@ def test_v1_file_is_migrated_not_diffed(tmp_path):
         entry.pop("fingerprint_version", None)
     for entry in v1["baseline"]["results"].values():
         entry.pop("fingerprint_version", None)
+    for past in v1["history"]:  # schema/1 never recorded fingerprints
+        past.pop("fingerprints", None)
+        past.pop("fingerprint_versions", None)
     # a v1 engine_timers-style fingerprint that records ':None' where the
     # current format has a counter
     v1["baseline"]["results"]["engine_events"]["fingerprint"] = "40064:None"
@@ -194,6 +229,81 @@ def test_corporate_slice_scenario_registered():
     assert "corporate_slice" in names
     scenario = next(s for s in SCENARIOS if s.name == "corporate_slice")
     assert scenario.unit == "events"
+
+
+def test_mercator_100k_scenario_registered():
+    scenario = next(s for s in SCENARIOS if s.name == "mercator_100k")
+    assert scenario.unit == "events"
+    assert scenario.trace_memory is False
+    assert scenario.opt_in is False  # in the default suite (quick-scaled)
+
+
+def test_trace_memory_optout_records_null_columns(tmp_path):
+    """A trace_memory=False scenario still runs twice (determinism gate)
+    but records null memory columns; schema and rendering must cope."""
+    calls = []
+
+    def counted(quick):
+        calls.append(quick)
+        return 7, "7:stable"
+
+    scenario = bench.BenchScenario(
+        name="nomem", description="", unit="events", fn=counted,
+        trace_memory=False,
+    )
+    entry = run_scenario(scenario, quick=True)
+    assert calls == [True, True]  # both runs happened
+    assert entry["tracemalloc_peak_kb"] is None
+    assert entry["tracemalloc_current_kb"] is None
+    report = {
+        "schema": SCHEMA, "mode": "quick", "python": "x", "label": "t",
+        "results": {"nomem": entry}, "baseline": {"results": {}},
+        "history": [{"rates": {}, "label": "t"}],
+        "fingerprint_vs_baseline": {}, "speedup": {},
+    }
+    verify_report_schema(report)
+    text = bench.render_report(report)
+    assert "nomem" in text  # null peak column renders as '-'
+
+
+def test_trace_memory_optout_still_detects_nondeterminism():
+    ticker = iter(range(10))
+
+    def flaky(quick):
+        return 100, f"fp-{next(ticker)}"
+
+    scenario = bench.BenchScenario(
+        name="flaky", description="", unit="events", fn=flaky,
+        trace_memory=False,
+    )
+    with pytest.raises(BenchError, match="non-deterministic"):
+        run_scenario(scenario, quick=True)
+
+
+def test_opt_in_scenarios_excluded_from_default_suite(tmp_path, monkeypatch):
+    """full_gnutella (opt_in) runs only when named via --scenario."""
+    ran = []
+
+    def fake_run_scenario(scenario, quick):
+        ran.append(scenario.name)
+        return {
+            "description": scenario.description, "unit": scenario.unit,
+            "work": 1, "wall_s": 0.1, "rate_per_s": 10.0,
+            "fingerprint": "1:1", "fingerprint_version": 1,
+            "tracemalloc_peak_kb": 1.0, "tracemalloc_current_kb": 0.0,
+            "peak_rss_kb": 1,
+        }
+
+    monkeypatch.setattr(bench, "run_scenario", fake_run_scenario)
+    out = tmp_path / "bench.json"
+    run_bench(quick=True, out=str(out), rebaseline=True)
+    assert "full_gnutella" not in ran
+    assert "mercator_100k" in ran
+
+    ran.clear()
+    run_bench(quick=True, out=str(tmp_path / "b2.json"), rebaseline=True,
+              scenarios=["full_gnutella"])
+    assert ran == ["full_gnutella"]
 
 
 def test_cli_bench_runs_quick(tmp_path, capsys):

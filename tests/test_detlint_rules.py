@@ -52,7 +52,7 @@ def project_codes(files, wire_baseline=None):
 def test_registry_has_all_advertised_rules():
     assert REGISTRY.codes() == [
         "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
-        "HARN001", "HOT001", "HOT002", "SIM001", "SIM002",
+        "HARN001", "HOT001", "HOT002", "HOT003", "SIM001", "SIM002",
     ]
     assert PROJECT_REGISTRY.codes() == [
         "FLOW001", "PAR001", "RNG001", "RNG002", "WIRE001", "WIRE002",
@@ -379,6 +379,58 @@ def test_hot002_suppressible_with_justification():
     suppressions = parse_suppressions(RTO_PATH, snippet)
     kept = [f for f in findings if not suppressions.matches(f)]
     assert "HOT002" not in [f.code for f in kept]
+
+
+# ----------------------------------------------------------------------
+# HOT003 — no per-event numpy scalar boxing on the hot path
+# ----------------------------------------------------------------------
+BASE_PATH = "src/repro/network/base.py"
+
+
+@pytest.mark.parametrize("snippet", [
+    # float() over a subscript: the classic per-event row read
+    ("class T:\n    def delay(self, a, b):\n"
+     "        return float(self.row[b])\n"),
+    # .item() boxing
+    ("class T:\n    def delay(self, a, b):\n"
+     "        return self.row[b].item()\n"),
+])
+def test_hot003_triggers_in_hot_functions(snippet):
+    assert "HOT003" in lint_snippet(snippet, path=BASE_PATH)
+
+
+@pytest.mark.parametrize("snippet", [
+    # plain list indexing needs no conversion — the prescribed fix
+    ("class T:\n    def delay(self, a, b):\n"
+     "        return self.row_list[b] + self.lan\n"),
+    # float() over a non-subscript (e.g. a literal) is fine
+    ("class T:\n    def delay(self, a, b):\n"
+     "        return float('inf')\n"),
+    # bulk conversion outside the per-event read is the idiom
+    ("class T:\n    def delays_to(self, a, dsts):\n"
+     "        return (self.row[dsts] + self.lan).tolist()\n"),
+    # .item() in a non-hot function of a hot file is not checked
+    ("class T:\n    def summarize(self):\n"
+     "        return self.row[0].item()\n"),
+])
+def test_hot003_clean(snippet):
+    assert "HOT003" not in lint_snippet(snippet, path=BASE_PATH)
+
+
+def test_hot003_scoped_to_registered_files():
+    snippet = ("class T:\n    def delay(self, a, b):\n"
+               "        return float(self.row[b])\n")
+    assert "HOT003" not in lint_snippet(snippet, path=ANY_PATH)
+
+
+def test_hot003_covers_batch_scheduler_functions():
+    """The registry extension: schedule_calls et al. are hot now."""
+    snippet = ("class S:\n    def schedule_calls(self, delays):\n"
+               "        return [d.item() for d in delays]\n")
+    assert "HOT003" in lint_snippet(snippet, path=ENGINE_PATH)
+    lam = ("class S:\n    def schedule_calls(self, delays):\n"
+           "        return sorted(delays, key=lambda d: d)\n")
+    assert "HOT001" in lint_snippet(lam, path=ENGINE_PATH)
 
 
 # ----------------------------------------------------------------------

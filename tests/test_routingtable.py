@@ -56,8 +56,8 @@ def test_add_replaces_when_closer_proximity():
     a = 0x5 << 124
     b_entry = (0x5 << 124) | 1
     prox = {a: 10.0, b_entry: 2.0}
-    table.add(desc(a), lambda d: prox[d.id])
-    assert table.add(desc(b_entry), lambda d: prox[d.id])
+    table.add(desc(a), prox)
+    assert table.add(desc(b_entry), prox)
     assert table.get(0, 5).id == b_entry
     assert a not in table
     assert b_entry in table
@@ -68,8 +68,8 @@ def test_add_keeps_closer_incumbent():
     a = 0x5 << 124
     b_entry = (0x5 << 124) | 1
     prox = {a: 1.0, b_entry: 2.0}
-    table.add(desc(a), lambda d: prox[d.id])
-    assert not table.add(desc(b_entry), lambda d: prox[d.id])
+    table.add(desc(a), prox)
+    assert not table.add(desc(b_entry), prox)
     assert table.get(0, 5).id == a
 
 

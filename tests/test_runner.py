@@ -57,7 +57,8 @@ def test_rdp_at_least_one(churn_run):
 def test_oracle_matches_node_flags(churn_run):
     runner, _result = churn_run
     flagged = {
-        n.id for n in runner._trace_nodes.values() if n.active and not n.crashed
+        n.id for n in runner._population
+        if n is not None and n.active and not n.crashed
     }
     oracle_ids = set(runner.oracle._by_id)
     assert flagged == oracle_ids
